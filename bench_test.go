@@ -1,0 +1,286 @@
+// Benchmark harness: one bench per experiment in EXPERIMENTS.md (which in
+// turn covers every theorem/lemma of the paper — its "tables and
+// figures"). Each benchmark reports, besides ns/op, the measured block
+// I/Os and the ratio to the theoretical bound as custom metrics, so
+// `go test -bench=.` regenerates the paper's complexity claims.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/emsort"
+	"repro/internal/expt"
+	"repro/internal/extmem"
+	"repro/internal/graph"
+	"repro/internal/hashing"
+	"repro/internal/subgraph"
+	"repro/internal/trienum"
+)
+
+// benchMeasure runs one cold measurement per iteration and reports I/O
+// metrics.
+func benchMeasure(b *testing.B, el graph.EdgeList, m expt.Machine, runner string, bound float64) {
+	b.Helper()
+	var last expt.Measurement
+	for i := 0; i < b.N; i++ {
+		last = expt.Measure(el, m, expt.Runner(runner), uint64(i)+1)
+	}
+	b.ReportMetric(float64(last.IOs), "IOs")
+	if bound > 0 {
+		b.ReportMetric(float64(last.IOs)/bound, "IOs/bound")
+	}
+	b.ReportMetric(float64(last.Triangles), "triangles")
+}
+
+// BenchmarkE1CacheAwareScaling — Theorem 4: I/Os = O(E^1.5/(sqrt(M)·B)).
+func BenchmarkE1CacheAwareScaling(b *testing.B) {
+	m := expt.Machine{M: 1 << 11, B: 1 << 5}
+	for _, n := range []int{64, 91, 128, 181} {
+		el := graph.Clique(n)
+		e := int64(n * (n - 1) / 2)
+		b.Run(fmt.Sprintf("clique/E=%d", e), func(b *testing.B) {
+			benchMeasure(b, el, m, "cacheaware", expt.OptBound(e, m))
+		})
+	}
+	for _, e := range []int{8192, 32768} {
+		el := graph.GNM(e/4, e, uint64(e))
+		b.Run(fmt.Sprintf("gnm/E=%d", e), func(b *testing.B) {
+			benchMeasure(b, el, m, "cacheaware", expt.OptBound(int64(e), m))
+		})
+	}
+}
+
+// BenchmarkE2ObliviousScaling — Theorem 1: cache-oblivious, same bound.
+func BenchmarkE2ObliviousScaling(b *testing.B) {
+	m := expt.Machine{M: 1 << 11, B: 1 << 5}
+	for _, n := range []int{64, 91, 128} {
+		el := graph.Clique(n)
+		e := int64(n * (n - 1) / 2)
+		b.Run(fmt.Sprintf("clique/E=%d", e), func(b *testing.B) {
+			benchMeasure(b, el, m, "oblivious", expt.OptBound(e, m))
+		})
+	}
+	// The same program against different caches.
+	el := graph.GNM(2048, 8192, 7)
+	for _, m := range []expt.Machine{{M: 1 << 9, B: 1 << 4}, {M: 1 << 11, B: 1 << 5}, {M: 1 << 13, B: 1 << 6}} {
+		b.Run(fmt.Sprintf("gnm8192/M=%d/B=%d", m.M, m.B), func(b *testing.B) {
+			benchMeasure(b, el, m, "oblivious", expt.OptBound(8192, m))
+		})
+	}
+}
+
+// BenchmarkE3DeterministicScaling — Theorem 2: derandomized, worst case.
+func BenchmarkE3DeterministicScaling(b *testing.B) {
+	m := expt.Machine{M: 1 << 9, B: 1 << 4}
+	for _, e := range []int{4096, 16384} {
+		el := graph.GNM(e/4, e, uint64(e)*3)
+		b.Run(fmt.Sprintf("gnm/E=%d", e), func(b *testing.B) {
+			benchMeasure(b, el, m, "deterministic", expt.OptBound(int64(e), m))
+		})
+	}
+}
+
+// BenchmarkE4OptimalityGap — Theorem 3: I/Os vs the lower bound on the
+// extremal instance (cliques, t = Θ(E^1.5)).
+func BenchmarkE4OptimalityGap(b *testing.B) {
+	m := expt.Machine{M: 1 << 10, B: 1 << 5}
+	for _, name := range []string{"cacheaware", "oblivious", "deterministic", "hutaochung"} {
+		b.Run(name, func(b *testing.B) {
+			el := graph.Clique(128)
+			var last expt.Measurement
+			for i := 0; i < b.N; i++ {
+				last = expt.Measure(el, m, expt.Runner(name), uint64(i)+1)
+			}
+			lb := expt.LowerBound(last.Triangles, m)
+			b.ReportMetric(float64(last.IOs), "IOs")
+			b.ReportMetric(float64(last.IOs)/lb, "IOs/lowerbound")
+		})
+	}
+}
+
+// BenchmarkE5ImprovementFactor — the min(sqrt(E/M), sqrt(M)) improvement
+// over Hu–Tao–Chung.
+func BenchmarkE5ImprovementFactor(b *testing.B) {
+	m := expt.Machine{M: 1 << 10, B: 1 << 5}
+	for _, n := range []int{128, 181, 256} {
+		el := graph.Clique(n)
+		e := int64(n * (n - 1) / 2)
+		b.Run(fmt.Sprintf("E=%d", e), func(b *testing.B) {
+			var hu, ca expt.Measurement
+			for i := 0; i < b.N; i++ {
+				hu = expt.Measure(el, m, expt.Runner("hutaochung"), 5)
+				ca = expt.Measure(el, m, expt.Runner("cacheaware"), 5)
+			}
+			b.ReportMetric(float64(hu.IOs)/float64(ca.IOs), "improvement")
+		})
+	}
+}
+
+// BenchmarkE6ColoringBalance — Lemma 3: E[X_ξ] <= E·M.
+func BenchmarkE6ColoringBalance(b *testing.B) {
+	m := expt.Machine{M: 1 << 9, B: 1 << 4}
+	el := graph.PowerLaw(6000, 16384, 2.1, 62)
+	b.Run("powerlaw/E=16384", func(b *testing.B) {
+		var x uint64
+		for i := 0; i < b.N; i++ {
+			ms := expt.Measure(el, m, expt.Runner("cacheaware"), uint64(i)+1)
+			x = ms.Info.X
+		}
+		b.ReportMetric(float64(x)/(16384*float64(m.M)), "X/(E*M)")
+	})
+}
+
+// BenchmarkE7MemorySweep — I/Os at fixed E as M varies.
+func BenchmarkE7MemorySweep(b *testing.B) {
+	el := graph.GNM(4096, 16384, 71)
+	for _, mWords := range []int{1 << 8, 1 << 12} {
+		m := expt.Machine{M: mWords, B: 1 << 4}
+		for _, name := range []string{"cacheaware", "hutaochung", "nestedloop"} {
+			b.Run(fmt.Sprintf("M=%d/%s", mWords, name), func(b *testing.B) {
+				benchMeasure(b, el, m, name, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkE8Comparison — all algorithms on a representative workload.
+func BenchmarkE8Comparison(b *testing.B) {
+	el := graph.PowerLaw(3000, 8192, 2.1, 82)
+	m := expt.Machine{M: 1 << 10, B: 1 << 5}
+	for _, r := range expt.Runners() {
+		b.Run(r.Name, func(b *testing.B) {
+			benchMeasure(b, el, m, r.Name, 0)
+		})
+	}
+}
+
+// BenchmarkE9KClique — Section 6: k=4 cliques, bound E²/(M·B).
+func BenchmarkE9KClique(b *testing.B) {
+	m := expt.Machine{M: 1 << 10, B: 1 << 5}
+	for _, n := range []int{64, 91} {
+		el := graph.Clique(n)
+		b.Run(fmt.Sprintf("clique%d", n), func(b *testing.B) {
+			var ios uint64
+			var cliques uint64
+			for i := 0; i < b.N; i++ {
+				sp := extmem.NewSpace(extmem.Config{M: m.M, B: m.B})
+				g := graph.CanonicalizeList(sp, el)
+				sp.DropCache()
+				sp.ResetStats()
+				info, err := subgraph.KClique(sp, g, 4, uint64(i)+1, func([]uint32) {})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp.Flush()
+				ios = sp.Stats().IOs()
+				cliques = info.Cliques
+			}
+			e := float64(n * (n - 1) / 2)
+			b.ReportMetric(float64(ios), "IOs")
+			b.ReportMetric(float64(ios)/(e*e/(float64(m.M)*float64(m.B))), "IOs/bound")
+			b.ReportMetric(float64(cliques), "cliques")
+		})
+	}
+}
+
+// BenchmarkE10Sorting — the sort(E) substrate: multiway vs funnelsort vs
+// binary oblivious mergesort.
+func BenchmarkE10Sorting(b *testing.B) {
+	m := expt.Machine{M: 1 << 10, B: 1 << 5}
+	n := int64(1 << 15)
+	sorters := []struct {
+		name string
+		fn   graph.SortFunc
+	}{
+		{"multiway", emsort.SortRecords},
+		{"funnel", emsort.FunnelSortRecords},
+		{"binary", emsort.ObliviousSortRecords},
+	}
+	for _, s := range sorters {
+		b.Run(s.name, func(b *testing.B) {
+			var ios uint64
+			for i := 0; i < b.N; i++ {
+				sp := extmem.NewSpace(extmem.Config{M: m.M, B: m.B})
+				ext := sp.Alloc(n)
+				rng := hashing.NewRand(uint64(i))
+				for j := int64(0); j < n; j++ {
+					ext.Write(j, rng.Next())
+				}
+				sp.DropCache()
+				sp.ResetStats()
+				s.fn(ext, 1, emsort.Identity)
+				sp.Flush()
+				ios = sp.Stats().IOs()
+			}
+			b.ReportMetric(float64(ios), "IOs")
+		})
+	}
+}
+
+// BenchmarkE11RecursionConcentration — Lemmas 4–5: one oblivious run,
+// reporting the top-of-recursion concentration ratios as metrics.
+func BenchmarkE11RecursionConcentration(b *testing.B) {
+	m := expt.Machine{M: 1 << 11, B: 1 << 5}
+	el := graph.GNM(2048, 8192, 41)
+	var last expt.Measurement
+	for i := 0; i < b.N; i++ {
+		last = expt.Measure(el, m, expt.Runner("oblivious"), 11)
+	}
+	if len(last.Info.Recursion) > 3 {
+		lv := last.Info.Recursion[3]
+		e := float64(last.Edges)
+		b.ReportMetric(float64(lv.TotalEdges)/(e*8), "lvl3_total/(E*2^3)")
+		b.ReportMetric(float64(lv.TotalEdges)/float64(lv.Subproblems)/(e/64), "lvl3_mean/(E/4^3)")
+	}
+}
+
+// BenchmarkE12ListingOverhead — Section 1: the Θ(t/B) materialization
+// cost of listing over enumeration on the triangle-dense instance.
+func BenchmarkE12ListingOverhead(b *testing.B) {
+	m := expt.Machine{M: 1 << 11, B: 1 << 5}
+	el := graph.Clique(91)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		sp := extmem.NewSpace(extmem.Config{M: m.M, B: m.B})
+		g := graph.CanonicalizeList(sp, el)
+		sp.DropCache()
+		sp.ResetStats()
+		var n uint64
+		trienum.CacheAware(sp, g, 12, graph.Counter(&n))
+		sp.Flush()
+		enum := sp.Stats().IOs()
+		sp.DropCache()
+		sp.ResetStats()
+		list, _ := trienum.ListTriangles(sp, g, 12,
+			func(sp *extmem.Space, g graph.Canonical, seed uint64, emit graph.Emit) trienum.Info {
+				return trienum.CacheAware(sp, g, seed, emit)
+			})
+		sp.Flush()
+		lst := sp.Stats().IOs()
+		ratio = (float64(lst) - 2*float64(enum)) / (2 * float64(list.Len()) / float64(m.B))
+	}
+	b.ReportMetric(ratio, "extra/(2t/B)")
+}
+
+// BenchmarkEnumeratePublicAPI measures the end-to-end public entry point,
+// including canonicalization, at a realistic configuration.
+func BenchmarkEnumeratePublicAPI(b *testing.B) {
+	edges, err := Generate("powerlaw:n=10000,m=40000,beta=2.2", 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range []Algorithm{CacheAware, HuTaoChung} {
+		b.Run(alg.String(), func(b *testing.B) {
+			var ios uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Count(edges, Config{Algorithm: alg, MemoryWords: 1 << 12, BlockWords: 1 << 6, Seed: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ios = res.Stats.IOs()
+			}
+			b.ReportMetric(float64(ios), "IOs")
+		})
+	}
+}

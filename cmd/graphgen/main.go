@@ -1,0 +1,47 @@
+// Command graphgen writes a generated workload graph to an edge file that
+// cmd/trienum can load.
+//
+// Usage:
+//
+//	graphgen -gen powerlaw:n=100000,m=800000,beta=2.2 -seed 7 -out pl.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	gen := flag.String("gen", "", "graph spec (see repro.Generate)")
+	out := flag.String("out", "", "output path")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if *gen == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "graphgen: need -gen and -out")
+		os.Exit(2)
+	}
+	edges, err := repro.Generate(*gen, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := repro.WriteEdgeFile(f, edges); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d edges to %s\n", len(edges), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

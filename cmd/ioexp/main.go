@@ -1,0 +1,53 @@
+// Command ioexp regenerates the experiment tables in EXPERIMENTS.md: one
+// table per theorem/lemma of the paper, measured on the simulated
+// external-memory machine.
+//
+// Usage:
+//
+//	ioexp            # run everything (several minutes)
+//	ioexp -exp E4    # run one experiment
+//	ioexp -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/expt"
+)
+
+var experimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "EA1"}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experimentIDs {
+			t, err := expt.ByID(id)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%-4s %s\n", t.ID, t.Title)
+		}
+		return
+	}
+
+	ids := experimentIDs
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := expt.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("   (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,86 @@
+package repro_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro"
+)
+
+// The basic use: enumerate the triangles of an edge list.
+func ExampleEnumerate() {
+	edges := [][2]uint32{
+		{0, 1}, {1, 2}, {0, 2}, // triangle 0-1-2
+		{2, 3}, {3, 4}, {2, 4}, // triangle 2-3-4
+		{4, 5}, // dangling edge
+	}
+	var found [][3]uint32
+	res, err := repro.Enumerate(edges, repro.Config{}, func(a, b, c uint32) {
+		found = append(found, [3]uint32{a, b, c})
+	})
+	if err != nil {
+		panic(err)
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i][0] < found[j][0] })
+	for _, t := range found {
+		fmt.Println(t[0], t[1], t[2])
+	}
+	fmt.Println("triangles:", res.Triangles)
+	// Output:
+	// 0 1 2
+	// 2 3 4
+	// triangles: 2
+}
+
+// Counting triangles of a generated workload with an explicit machine.
+func ExampleCount() {
+	edges, err := repro.Generate("clique:n=20", 0)
+	if err != nil {
+		panic(err)
+	}
+	res, err := repro.Count(edges, repro.Config{
+		Algorithm:   repro.CacheOblivious,
+		MemoryWords: 1 << 12,
+		BlockWords:  1 << 5,
+		Seed:        7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Triangles) // C(20,3)
+	// Output:
+	// 1140
+}
+
+// Choosing algorithms by name, e.g. from a CLI flag.
+func ExampleParseAlgorithm() {
+	alg, err := repro.ParseAlgorithm("deterministic")
+	if err != nil {
+		panic(err)
+	}
+	edges, _ := repro.Generate("gnm:n=64,m=256", 1)
+	res, err := repro.Count(edges, repro.Config{Algorithm: alg})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(alg, res.Triangles > 0 || res.Triangles == 0)
+	// Output:
+	// deterministic true
+}
+
+// All algorithms agree on every input; the randomized ones are
+// deterministic in their seed.
+func ExampleAlgorithms() {
+	edges, _ := repro.Generate("planted:n=100,m=300,k=8", 5)
+	counts := map[uint64]bool{}
+	for _, alg := range repro.Algorithms() {
+		res, err := repro.Count(edges, repro.Config{Algorithm: alg, Seed: 3})
+		if err != nil {
+			panic(err)
+		}
+		counts[res.Triangles] = true
+	}
+	fmt.Println("distinct counts across algorithms:", len(counts))
+	// Output:
+	// distinct counts across algorithms: 1
+}

@@ -1,0 +1,61 @@
+// diskbacked demonstrates that the external-memory substrate is not only
+// a simulator: the same Space can be backed by a real file, so block
+// transfers are genuine disk I/O. The run enumerates triangles of a graph
+// sixteen times larger than the configured internal memory against a
+// temporary file, then verifies the result matches a RAM-backed run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	edges, err := repro.Generate("gnm:n=8000,m=65536", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "trienum")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "extmem.bin")
+
+	cfg := repro.Config{
+		Algorithm:   repro.CacheAware,
+		MemoryWords: 1 << 12,
+		BlockWords:  1 << 6,
+		Seed:        7,
+	}
+
+	ram, err := repro.Count(edges, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.DiskPath = path
+	disk, err := repro.Count(edges, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: E=%d, machine: M=%d words (E/M = %.0fx)\n",
+		disk.Edges, cfg.MemoryWords, float64(disk.Edges)/float64(cfg.MemoryWords))
+	fmt.Printf("file-backed run: %d triangles, %d block I/Os against %s (%d KiB on disk)\n",
+		disk.Triangles, disk.Stats.IOs(), path, fi.Size()/1024)
+	fmt.Printf("RAM-backed run:  %d triangles, %d block I/Os\n", ram.Triangles, ram.Stats.IOs())
+	if ram.Triangles != disk.Triangles || ram.Stats.IOs() != disk.Stats.IOs() {
+		log.Fatal("backends disagree — this is a bug")
+	}
+	fmt.Println("identical counts and I/O traces: the cache is backend-transparent")
+}

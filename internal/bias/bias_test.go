@@ -1,0 +1,243 @@
+package bias
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFAxioms(t *testing.T) {
+	for _, m := range []int{3, 5, 8, 16} {
+		f := NewGF(m)
+		prop := func(a, b, c uint64) bool {
+			mask := f.Order() - 1
+			a, b, c = a&mask, b&mask, c&mask
+			if f.Mul(a, b) != f.Mul(b, a) {
+				return false
+			}
+			if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+				return false
+			}
+			if f.Mul(a, b^c) != f.Mul(a, b)^f.Mul(a, c) {
+				return false
+			}
+			return f.Mul(a, 1) == a
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("m=%d: %v", m, err)
+		}
+	}
+}
+
+func TestGFMulClosed(t *testing.T) {
+	f := NewGF(8)
+	for a := uint64(0); a < 256; a += 7 {
+		for b := uint64(0); b < 256; b += 11 {
+			if p := f.Mul(a, b); p >= 256 {
+				t.Fatalf("product %d escapes the field", p)
+			}
+		}
+	}
+}
+
+func TestGFNoZeroDivisors(t *testing.T) {
+	f := NewGF(6)
+	for a := uint64(1); a < f.Order(); a++ {
+		for b := uint64(1); b < f.Order(); b++ {
+			if f.Mul(a, b) == 0 {
+				t.Fatalf("zero divisor: %d*%d", a, b)
+			}
+		}
+	}
+}
+
+func TestGFPow(t *testing.T) {
+	f := NewGF(5)
+	// Fermat: a^(2^m - 1) = 1 for nonzero a.
+	for a := uint64(1); a < f.Order(); a++ {
+		if got := f.Pow(a, f.Order()-1); got != 1 {
+			t.Fatalf("a=%d: a^(q-1)=%d, want 1", a, got)
+		}
+	}
+	if f.Pow(0, 5) != 0 || f.Pow(7, 0) != 1 {
+		t.Error("pow edge cases")
+	}
+}
+
+// gaussRank computes the GF(2) rank of packed bit-vectors.
+func gaussRank(rows []uint64) int {
+	rank := 0
+	for bit := 0; bit < 64; bit++ {
+		pivot := -1
+		for i := rank; i < len(rows); i++ {
+			if rows[i]&(1<<uint(bit)) != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for i := 0; i < len(rows); i++ {
+			if i != rank && rows[i]&(1<<uint(bit)) != 0 {
+				rows[i] ^= rows[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+func TestBCHFourColumnsIndependent(t *testing.T) {
+	// The defining property: any 4 distinct codewords are linearly
+	// independent over GF(2). This is what makes <s, C(v)> 4-wise
+	// independent for uniform s.
+	code := NewBCHCode(1000)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		vs := map[uint32]bool{}
+		for len(vs) < 4 {
+			vs[uint32(rng.Intn(1000))] = true
+		}
+		var rows []uint64
+		for v := range vs {
+			rows = append(rows, code.Word(v))
+		}
+		if r := gaussRank(rows); r != 4 {
+			t.Fatalf("codewords of %v have rank %d", vs, r)
+		}
+	}
+}
+
+func TestBCHExhaustiveTriples(t *testing.T) {
+	// Small field: check exhaustively that any <=4 columns among the first
+	// 60 are independent (spot-checking all 3-subsets and random 4th).
+	code := NewBCHCode(60)
+	n := 60
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				rows := []uint64{code.Word(uint32(a)), code.Word(uint32(b)), code.Word(uint32(c))}
+				if gaussRank(rows) != 3 {
+					t.Fatalf("columns %d,%d,%d dependent", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBCHWordDeterministicDistinct(t *testing.T) {
+	code := NewBCHCode(500)
+	seen := map[uint64]uint32{}
+	for v := uint32(0); v < 500; v++ {
+		w := code.Word(v)
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("codeword collision: %d and %d", prev, v)
+		}
+		seen[w] = v
+		if w&1 == 0 {
+			t.Fatalf("codeword of %d lacks constant bit", v)
+		}
+	}
+}
+
+func TestEpsBiasedBias(t *testing.T) {
+	// Empirical bias: for random nonzero test vectors u, the sample
+	// average of (-1)^<s_j, u> must stay within the claimed bias bound.
+	sp := NewEpsBiased(21, 1024)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		u := uint64(rng.Int63()) & ((1 << 21) - 1)
+		if u == 0 {
+			continue
+		}
+		sum := 0
+		for j := 0; j < sp.Size(); j++ {
+			if parity(sp.String(j)&u) == 0 {
+				sum++
+			} else {
+				sum--
+			}
+		}
+		bias := math.Abs(float64(sum)) / float64(sp.Size())
+		if bias > sp.Bias()+1e-9 {
+			t.Errorf("test vector %x: bias %f exceeds bound %f", u, bias, sp.Bias())
+		}
+	}
+}
+
+func TestFamilyFourTupleBalance(t *testing.T) {
+	// Lemma 6's guarantee: for any 4 positions and any target pattern x,
+	// the fraction of family members realizing x is (1 ± small)·2^-4.
+	// With an enumerable family we can check it exactly.
+	fam := NewFamily(200, 1<<14)
+	rng := rand.New(rand.NewSource(12))
+	worst := 0.0
+	for trial := 0; trial < 40; trial++ {
+		var vs [4]uint32
+		seen := map[uint32]bool{}
+		for i := 0; i < 4; {
+			v := uint32(rng.Intn(200))
+			if !seen[v] {
+				seen[v] = true
+				vs[i] = v
+				i++
+			}
+		}
+		var words [4]uint64
+		for k, v := range vs {
+			words[k] = fam.CodeWord(v)
+		}
+		var counts [16]int
+		for j := 0; j < fam.Size(); j++ {
+			s := fam.Seed(j)
+			pat := 0
+			for k := range words {
+				pat |= int(EvalSeed(s, words[k])) << k
+			}
+			counts[pat]++
+		}
+		for _, got := range counts {
+			dev := math.Abs(float64(got)/float64(fam.Size()) - 1.0/16)
+			if dev > worst {
+				worst = dev
+			}
+		}
+	}
+	// An ε-biased seed space keeps every pattern probability within ε of
+	// uniform (Fourier inversion over the 15 nonzero characters).
+	if worst > fam.BiasBound() {
+		t.Errorf("worst 4-tuple pattern deviation %f exceeds bias bound %f", worst, fam.BiasBound())
+	}
+}
+
+func TestFamilyCodewordSeedConsistency(t *testing.T) {
+	fam := NewFamily(300, 256)
+	for j := 0; j < fam.Size(); j += 17 {
+		for v := uint32(0); v < 300; v += 23 {
+			if fam.Bit(j, v) != EvalSeed(fam.Seed(j), fam.CodeWord(v)) {
+				t.Fatalf("EvalSeed disagrees with Bit at j=%d v=%d", j, v)
+			}
+		}
+	}
+}
+
+func TestFamilySizeAtLeastRequested(t *testing.T) {
+	for _, want := range []int{1, 16, 100, 1000} {
+		fam := NewFamily(50, want)
+		if fam.Size() < want {
+			t.Errorf("requested %d, got %d", want, fam.Size())
+		}
+	}
+}
+
+func TestNewGFUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGF(40) should panic")
+		}
+	}()
+	NewGF(40)
+}

@@ -1,0 +1,145 @@
+// Package emio provides sequential streaming primitives over extmem
+// extents: readers, writers, and merge scans. Sequential access to an
+// extent of n words costs ceil(n/B) + O(1) I/Os through the block cache,
+// which is the "scan" primitive every external-memory bound builds on.
+package emio
+
+import "repro/internal/extmem"
+
+// Reader is a forward sequential cursor over an extent.
+type Reader struct {
+	ext extmem.Extent
+	pos int64
+}
+
+// NewReader returns a reader positioned at the start of ext.
+func NewReader(ext extmem.Extent) *Reader { return &Reader{ext: ext} }
+
+// Next returns the next word, or ok=false at the end.
+func (r *Reader) Next() (w extmem.Word, ok bool) {
+	if r.pos >= r.ext.Len() {
+		return 0, false
+	}
+	w = r.ext.Read(r.pos)
+	r.pos++
+	return w, true
+}
+
+// Peek returns the next word without advancing.
+func (r *Reader) Peek() (w extmem.Word, ok bool) {
+	if r.pos >= r.ext.Len() {
+		return 0, false
+	}
+	return r.ext.Read(r.pos), true
+}
+
+// Pos returns the number of words consumed.
+func (r *Reader) Pos() int64 { return r.pos }
+
+// Remaining returns the number of words left.
+func (r *Reader) Remaining() int64 { return r.ext.Len() - r.pos }
+
+// Writer appends words sequentially to an extent.
+type Writer struct {
+	ext extmem.Extent
+	pos int64
+}
+
+// NewWriter returns a writer positioned at the start of ext.
+func NewWriter(ext extmem.Extent) *Writer { return &Writer{ext: ext} }
+
+// Append writes the next word. It panics if the extent is full; extents are
+// sized by the caller, so overflow is a logic error.
+func (w *Writer) Append(v extmem.Word) {
+	w.ext.Write(w.pos, v)
+	w.pos++
+}
+
+// Len returns the number of words written.
+func (w *Writer) Len() int64 { return w.pos }
+
+// Written returns the prefix extent holding everything appended so far.
+func (w *Writer) Written() extmem.Extent { return w.ext.Prefix(w.pos) }
+
+// Copy copies src into dst sequentially and returns the words copied.
+func Copy(dst, src extmem.Extent) int64 {
+	n := src.Len()
+	if dst.Len() < n {
+		panic("emio: Copy destination too small")
+	}
+	for i := int64(0); i < n; i++ {
+		dst.Write(i, src.Read(i))
+	}
+	return n
+}
+
+// ForEach applies fn to each word of ext in order.
+func ForEach(ext extmem.Extent, fn func(i int64, w extmem.Word)) {
+	n := ext.Len()
+	for i := int64(0); i < n; i++ {
+		fn(i, ext.Read(i))
+	}
+}
+
+// Filter scans src and appends every word satisfying keep to dst, returning
+// the number kept. dst may be sized pessimistically (src.Len()).
+func Filter(dst *Writer, src extmem.Extent, keep func(extmem.Word) bool) int64 {
+	var kept int64
+	n := src.Len()
+	for i := int64(0); i < n; i++ {
+		w := src.Read(i)
+		if keep(w) {
+			dst.Append(w)
+			kept++
+		}
+	}
+	return kept
+}
+
+// MergeJoin scans two sorted extents and calls onMatch for every pair of
+// equal keys (one call per pair in the cross product of equal runs).
+// keyA/keyB extract comparison keys from the stored words.
+func MergeJoin(a, b extmem.Extent, key func(extmem.Word) uint64, onMatch func(wa, wb extmem.Word)) {
+	var i, j int64
+	na, nb := a.Len(), b.Len()
+	for i < na && j < nb {
+		wa, wb := a.Read(i), b.Read(j)
+		ka, kb := key(wa), key(wb)
+		switch {
+		case ka < kb:
+			i++
+		case ka > kb:
+			j++
+		default:
+			// Cross product of the equal-key runs.
+			jEnd := j
+			for jEnd < nb && key(b.Read(jEnd)) == ka {
+				jEnd++
+			}
+			for ; i < na && key(a.Read(i)) == ka; i++ {
+				wa = a.Read(i)
+				for jj := j; jj < jEnd; jj++ {
+					onMatch(wa, b.Read(jj))
+				}
+			}
+			j = jEnd
+		}
+	}
+}
+
+// Contains reports whether sorted extent ext contains a word with the given
+// key, via a merge-style scan from a reader (the caller drives ordering).
+// For point lookups in unsorted data, scan with Filter instead.
+func Contains(ext extmem.Extent, key func(extmem.Word) uint64, k uint64) bool {
+	// Binary search: O(log n) random block accesses.
+	lo, hi := int64(0), ext.Len()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if key(ext.Read(mid)) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < ext.Len() && key(ext.Read(lo)) == k
+}

@@ -1,0 +1,114 @@
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		ID:     "T0",
+		Title:  "demo",
+		Claim:  "x",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n1"},
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T0: demo", "claim: x", "bbbb", "333", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureCountsColdIOs(t *testing.T) {
+	el := graph.Clique(40)
+	m := Machine{M: 1 << 10, B: 1 << 5}
+	ms := Measure(el, m, Runner("cacheaware"), 1)
+	if ms.Triangles != 40*39*38/6 {
+		t.Errorf("triangles %d", ms.Triangles)
+	}
+	if ms.IOs == 0 {
+		t.Error("no I/Os measured for out-of-memory input")
+	}
+	if ms.Edges != 780 {
+		t.Errorf("edges %d", ms.Edges)
+	}
+}
+
+func TestRunnersAllAgree(t *testing.T) {
+	el := graph.PlantedClique(60, 150, 8, 2)
+	m := Machine{M: 1 << 10, B: 1 << 5}
+	want := graph.NewOracle(el).Count()
+	for _, r := range Runners() {
+		ms := Measure(el, m, r, 3)
+		if ms.Triangles != want {
+			t.Errorf("%s: %d triangles, want %d", r.Name, ms.Triangles, want)
+		}
+	}
+}
+
+func TestRunnerUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown runner should panic")
+		}
+	}()
+	Runner("bogus")
+}
+
+func TestBoundHelpers(t *testing.T) {
+	m := Machine{M: 1024, B: 32}
+	if OptBound(1024, m) <= 0 || LowerBound(1000, m) <= 0 || HuBound(1024, m) <= 0 {
+		t.Error("bounds must be positive")
+	}
+	// E^1.5 monotone.
+	if OptBound(2048, m) <= OptBound(1024, m) {
+		t.Error("OptBound not monotone")
+	}
+	// cliqueWithEdges inverts E = n(n-1)/2 approximately.
+	el := cliqueWithEdges(4095)
+	if n := len(el.Edges); n < 3800 || n > 4400 {
+		t.Errorf("cliqueWithEdges(4095) gave %d edges", n)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestSmallExperimentsRun exercises the fast experiment drivers end to
+// end; the heavyweight sweeps are covered by cmd/ioexp and benchmarks.
+func TestSmallExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	tb := E10Sorting()
+	if len(tb.Rows) == 0 {
+		t.Error("E10 empty")
+	}
+	tb = E6ColoringBalance()
+	if len(tb.Rows) != 4 {
+		t.Errorf("E6 rows %d", len(tb.Rows))
+	}
+	// Lemma 3's conclusion should hold in the rendered numbers: the mean
+	// normalized potential is at most 1 for every class.
+	for _, row := range tb.Rows {
+		var norm float64
+		if _, err := fmt.Sscan(row[len(row)-1], &norm); err != nil {
+			t.Fatalf("bad cell %q", row[len(row)-1])
+		}
+		if norm > 1.0 {
+			t.Errorf("%s: mean X/(E·M) = %v > 1 violates Lemma 3", row[0], norm)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package extmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Backend is the raw block store behind a Space: the "disk" of the model.
+// Implementations transfer whole blocks; the Space's cache decides when.
+type Backend interface {
+	// ReadBlock fills dst (exactly B words) with block b.
+	ReadBlock(b int64, dst []Word) error
+	// WriteBlock stores src (exactly B words) as block b.
+	WriteBlock(b int64, src []Word) error
+	// Grow ensures the store can hold at least words words.
+	Grow(words int64) error
+	// Close releases resources.
+	Close() error
+}
+
+// memBackend keeps external memory in process RAM; the default, and the
+// fastest choice for simulations.
+type memBackend struct {
+	words []Word
+}
+
+func newMemBackend() *memBackend { return &memBackend{} }
+
+func (m *memBackend) ReadBlock(b int64, dst []Word) error {
+	off := b * int64(len(dst))
+	if off >= int64(len(m.words)) {
+		zero(dst)
+		return nil
+	}
+	n := copy(dst, m.words[off:])
+	zero(dst[n:])
+	return nil
+}
+
+func (m *memBackend) WriteBlock(b int64, src []Word) error {
+	off := b * int64(len(src))
+	need := off + int64(len(src))
+	if need > int64(len(m.words)) {
+		grown := make([]Word, need)
+		copy(grown, m.words)
+		m.words = grown
+	}
+	copy(m.words[off:], src)
+	return nil
+}
+
+func (m *memBackend) Grow(words int64) error { return nil } // lazy
+
+func (m *memBackend) Close() error { return nil }
+
+// fileBackend stores external memory in a real file, one little-endian
+// uint64 per word, so that block transfers are actual disk I/O.
+type fileBackend struct {
+	f   *os.File
+	buf []byte
+}
+
+func newFileBackend(path string) (*fileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("extmem: open backing file: %w", err)
+	}
+	return &fileBackend{f: f}, nil
+}
+
+func (fb *fileBackend) ensureBuf(n int) []byte {
+	if cap(fb.buf) < n {
+		fb.buf = make([]byte, n)
+	}
+	return fb.buf[:n]
+}
+
+func (fb *fileBackend) ReadBlock(b int64, dst []Word) error {
+	buf := fb.ensureBuf(len(dst) * 8)
+	off := b * int64(len(buf))
+	n, err := fb.f.ReadAt(buf, off)
+	if err != nil && n == 0 {
+		// Reading past EOF yields zeros: unwritten external memory.
+		zero(dst)
+		return nil
+	}
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return nil
+}
+
+func (fb *fileBackend) WriteBlock(b int64, src []Word) error {
+	buf := fb.ensureBuf(len(src) * 8)
+	for i, w := range src {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	_, err := fb.f.WriteAt(buf, b*int64(len(buf)))
+	return err
+}
+
+func (fb *fileBackend) Grow(words int64) error { return nil } // sparse file
+
+func (fb *fileBackend) Close() error { return fb.f.Close() }

@@ -1,0 +1,467 @@
+// Package extmem simulates the external memory (I/O) model of Aggarwal and
+// Vitter: an internal memory of M words, an external memory of unbounded
+// size, and data transfer in blocks of B consecutive words.
+//
+// All algorithm data lives in a word-addressable Space. Every word access
+// goes through a write-back LRU block cache of capacity M words; cache
+// misses are counted as I/Os. This gives a uniform, honest I/O measurement
+// for both cache-aware algorithms (which are told M and B and arrange their
+// access patterns accordingly) and cache-oblivious algorithms (which never
+// look at M or B — the LRU replacement policy stands in for the optimal
+// replacement policy assumed by the cache-oblivious model, losing at most a
+// constant factor by the Sleator–Tarjan competitiveness argument that the
+// framework of Frigo et al. relies on).
+//
+// Internal-memory computation is free in the I/O model, but internal memory
+// is not: algorithms that keep O(M) words of native scratch state (hash
+// sets, heaps, buffers) must lease that space with Space.Lease, which
+// shrinks the block cache by the same number of words while held.
+package extmem
+
+import "fmt"
+
+// Word is the unit of storage in the model. The paper assumes each vertex
+// and each edge occupies one memory word; an edge {u,v} with u < v is packed
+// as uint64(u)<<32 | uint64(v).
+type Word = uint64
+
+// Stats records the I/O activity of a Space since the last ResetStats.
+type Stats struct {
+	// BlockReads is the number of blocks fetched from external memory.
+	BlockReads uint64
+	// BlockWrites is the number of dirty blocks written back to external
+	// memory (on eviction or explicit Flush).
+	BlockWrites uint64
+	// WordReads and WordWrites count individual word accesses. They are
+	// free in the I/O model and are reported only as a work measure.
+	WordReads  uint64
+	WordWrites uint64
+	// PeakLease is the high-water mark of leased internal memory in words.
+	PeakLease int
+	// PeakAlloc is the high-water mark of allocated disk space in words.
+	PeakAlloc int64
+}
+
+// IOs returns the total number of input/output operations (block reads plus
+// block writes), the quantity every bound in the paper is stated in.
+func (s Stats) IOs() uint64 { return s.BlockReads + s.BlockWrites }
+
+// Config describes the simulated machine.
+type Config struct {
+	// M is the internal memory size in words. The tall-cache assumption
+	// M >= B*B is standard (and necessary for optimal cache-oblivious
+	// sorting); NewSpace rejects configurations that violate it unless
+	// AllowShortCache is set.
+	M int
+	// B is the block size in words. Must be a power of two.
+	B int
+	// AllowShortCache disables the tall-cache check (useful in tests).
+	AllowShortCache bool
+}
+
+const noFrame = int32(-1)
+
+// frame is a cache slot holding one block.
+type frame struct {
+	block      int64 // block index held, or -1 if free
+	prev, next int32 // LRU list links
+	dirty      bool
+}
+
+// Space is a word-addressable external memory with a simulated block cache.
+// It is not safe for concurrent use; the I/O model is sequential.
+type Space struct {
+	cfg       Config
+	logB      uint
+	backend   Backend
+	stats     Stats
+	size      int64 // allocated words (bump allocator)
+	leased    int
+	frames    []frame
+	data      []Word          // frame storage, len = maxFrames*B
+	table     map[int64]int32 // block index -> frame
+	lruHead   int32           // most recently used
+	lruTail   int32           // least recently used
+	freeList  []int32
+	capFrames int // current frame budget = (M - leased)/B
+	// fast path: the most recently accessed block stays pinned in these
+	// fields so sequential scans skip the map lookup B-1 times out of B.
+	lastBlock int64
+	lastFrame int32
+	virgin    map[int64]struct{} // blocks never materialized: first write skips the fetch
+	closed    bool
+}
+
+// NewSpace creates a Space backed by process memory.
+func NewSpace(cfg Config) *Space {
+	sp, err := newSpace(cfg, newMemBackend())
+	if err != nil {
+		panic(err) // memory backend cannot fail; config errors panic early
+	}
+	return sp
+}
+
+// NewFileSpace creates a Space whose external memory is the named file,
+// making the library usable against a real disk. The file is truncated.
+func NewFileSpace(cfg Config, path string) (*Space, error) {
+	be, err := newFileBackend(path)
+	if err != nil {
+		return nil, err
+	}
+	return newSpace(cfg, be)
+}
+
+func newSpace(cfg Config, be Backend) (*Space, error) {
+	if cfg.B <= 0 || cfg.B&(cfg.B-1) != 0 {
+		return nil, fmt.Errorf("extmem: block size B=%d must be a positive power of two", cfg.B)
+	}
+	if cfg.M < 2*cfg.B {
+		return nil, fmt.Errorf("extmem: memory M=%d must hold at least two blocks of B=%d", cfg.M, cfg.B)
+	}
+	if !cfg.AllowShortCache && cfg.M < cfg.B*cfg.B {
+		return nil, fmt.Errorf("extmem: tall-cache assumption violated: M=%d < B^2=%d", cfg.M, cfg.B*cfg.B)
+	}
+	logB := uint(0)
+	for 1<<logB != cfg.B {
+		logB++
+	}
+	maxFrames := cfg.M / cfg.B
+	sp := &Space{
+		cfg:       cfg,
+		logB:      logB,
+		backend:   be,
+		frames:    make([]frame, maxFrames),
+		data:      make([]Word, maxFrames*cfg.B),
+		table:     make(map[int64]int32, maxFrames*2),
+		lruHead:   noFrame,
+		lruTail:   noFrame,
+		capFrames: maxFrames,
+		lastBlock: -1,
+		lastFrame: noFrame,
+		virgin:    make(map[int64]struct{}),
+	}
+	for i := range sp.frames {
+		sp.frames[i].block = -1
+		sp.freeList = append(sp.freeList, int32(i))
+	}
+	return sp, nil
+}
+
+// Config returns the machine description. Cache-oblivious algorithms must
+// not consult it; it exists for cache-aware algorithms and test harnesses.
+func (s *Space) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Space) Stats() Stats {
+	st := s.stats
+	st.PeakAlloc = maxI64(st.PeakAlloc, s.size)
+	return st
+}
+
+// ResetStats zeroes the I/O counters. It does not flush the cache; call
+// DropCache first to measure an algorithm from a cold cache.
+func (s *Space) ResetStats() { s.stats = Stats{} }
+
+// DropCache writes back all dirty blocks and empties the cache, so that the
+// next measurements start cold. The write-backs are NOT counted (they are
+// charged to whatever computation dirtied them before the reset).
+func (s *Space) DropCache() {
+	for b, f := range s.table {
+		fr := &s.frames[f]
+		if fr.dirty {
+			s.writeBack(b, f)
+			s.stats.BlockWrites-- // uncounted by contract
+		}
+		fr.block = -1
+		fr.dirty = false
+		s.lruUnlink(f)
+		s.freeList = append(s.freeList, f)
+	}
+	clear(s.table)
+	s.lastBlock = -1
+	s.lastFrame = noFrame
+}
+
+// Flush writes back all dirty blocks, counting the writes. Data remains
+// cached (clean).
+func (s *Space) Flush() {
+	for b, f := range s.table {
+		if s.frames[f].dirty {
+			s.writeBack(b, f)
+			s.frames[f].dirty = false
+		}
+	}
+}
+
+// Close releases the backend (closing the file for file-backed spaces).
+func (s *Space) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.backend.Close()
+}
+
+// Lease reserves n words of internal memory for native scratch state,
+// shrinking the block cache accordingly, and returns a release function.
+// It panics if the total leased memory would exceed the configured M minus
+// two blocks (the model always needs room to move at least input and output
+// blocks).
+func (s *Space) Lease(n int) (release func()) {
+	if n < 0 {
+		panic("extmem: negative lease")
+	}
+	if s.leased+n > s.cfg.M-2*s.cfg.B {
+		panic(fmt.Sprintf("extmem: lease of %d words exceeds internal memory (M=%d, leased=%d)", n, s.cfg.M, s.leased))
+	}
+	s.leased += n
+	if s.leased > s.stats.PeakLease {
+		s.stats.PeakLease = s.leased
+	}
+	s.capFrames = (s.cfg.M - s.leased) / s.cfg.B
+	s.evictOver()
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		s.leased -= n
+		s.capFrames = (s.cfg.M - s.leased) / s.cfg.B
+	}
+}
+
+// Leased reports the currently leased internal memory in words.
+func (s *Space) Leased() int { return s.leased }
+
+// Size returns the number of allocated words of external memory.
+func (s *Space) Size() int64 { return s.size }
+
+// Alloc reserves n consecutive words of external memory and returns the
+// extent. Allocations are block-aligned, so a fresh extent always reads as
+// zero. Allocation follows stack discipline: use Mark/Release to free.
+func (s *Space) Alloc(n int64) Extent {
+	if n < 0 {
+		panic("extmem: negative allocation")
+	}
+	base := (s.size + int64(s.cfg.B) - 1) &^ int64(s.cfg.B-1)
+	s.size = base + n
+	if s.size > s.stats.PeakAlloc {
+		s.stats.PeakAlloc = s.size
+	}
+	if err := s.backend.Grow(s.size); err != nil {
+		panic(fmt.Sprintf("extmem: grow failed: %v", err))
+	}
+	if n == 0 {
+		return Extent{sp: s, base: base, n: 0}
+	}
+	// Freshly allocated blocks are virgin: their first materialization does
+	// not need a fetch from external memory, and they read as zero even if
+	// the backend holds stale data from a released extent.
+	first := base >> s.logB
+	last := (s.size - 1) >> s.logB
+	for b := first; b <= last; b++ {
+		if _, ok := s.table[b]; !ok {
+			s.virgin[b] = struct{}{}
+		}
+	}
+	return Extent{sp: s, base: base, n: n}
+}
+
+// Mark returns the current allocation watermark.
+func (s *Space) Mark() int64 { return s.size }
+
+// Release frees all extents allocated after the given mark. Any cached
+// blocks wholly above the mark are discarded without write-back (their
+// contents are dead).
+func (s *Space) Release(mark int64) {
+	if mark > s.size || mark < 0 {
+		panic("extmem: bad release mark")
+	}
+	boundary := (mark + int64(s.cfg.B) - 1) >> s.logB
+	for b, f := range s.table {
+		if b >= boundary {
+			fr := &s.frames[f]
+			fr.block = -1
+			fr.dirty = false
+			s.lruUnlink(f)
+			s.freeList = append(s.freeList, f)
+			delete(s.table, b)
+			delete(s.virgin, b)
+		}
+	}
+	for b := range s.virgin {
+		if b >= boundary {
+			delete(s.virgin, b)
+		}
+	}
+	if s.lastBlock >= boundary {
+		s.lastBlock = -1
+		s.lastFrame = noFrame
+	}
+	s.size = mark
+}
+
+// Read returns the word at address a, counting a block read on a miss.
+func (s *Space) Read(a int64) Word {
+	s.stats.WordReads++
+	b := a >> s.logB
+	if b == s.lastBlock {
+		return s.data[int64(s.lastFrame)<<s.logB|(a&int64(s.cfg.B-1))]
+	}
+	f := s.fetch(b, false)
+	return s.data[int64(f)<<s.logB|(a&int64(s.cfg.B-1))]
+}
+
+// Write stores v at address a, counting a block read on a miss (write-
+// allocate) unless the block has never been materialized, and a block write
+// when the dirty block is eventually evicted or flushed.
+func (s *Space) Write(a int64, v Word) {
+	s.stats.WordWrites++
+	b := a >> s.logB
+	var f int32
+	if b == s.lastBlock {
+		f = s.lastFrame
+	} else {
+		f = s.fetch(b, true)
+	}
+	s.frames[f].dirty = true
+	s.data[int64(f)<<s.logB|(a&int64(s.cfg.B-1))] = v
+}
+
+// fetch brings block b into the cache and returns its frame, updating LRU
+// order and the fast-path registers.
+func (s *Space) fetch(b int64, forWrite bool) int32 {
+	if f, ok := s.table[b]; ok {
+		s.lruTouch(f)
+		s.lastBlock, s.lastFrame = b, f
+		return f
+	}
+	f := s.grabFrame()
+	fr := &s.frames[f]
+	fr.block = b
+	fr.dirty = false
+	if _, isVirgin := s.virgin[b]; isVirgin {
+		delete(s.virgin, b)
+		// First touch of a never-written block: contents are zero by
+		// definition; no transfer from external memory is needed.
+		zero(s.data[int64(f)<<s.logB : (int64(f)+1)<<s.logB])
+	} else {
+		s.stats.BlockReads++
+		if err := s.backend.ReadBlock(b, s.data[int64(f)<<s.logB:(int64(f)+1)<<s.logB]); err != nil {
+			panic(fmt.Sprintf("extmem: read block %d: %v", b, err))
+		}
+	}
+	s.table[b] = f
+	s.lruPushFront(f)
+	s.lastBlock, s.lastFrame = b, f
+	return f
+}
+
+// grabFrame returns a free frame, evicting the LRU block if necessary.
+func (s *Space) grabFrame() int32 {
+	if len(s.table) >= s.capFrames {
+		s.evictLRU()
+	}
+	if n := len(s.freeList); n > 0 {
+		f := s.freeList[n-1]
+		s.freeList = s.freeList[:n-1]
+		return f
+	}
+	// All frames busy but under budget cannot happen: budget <= len(frames).
+	s.evictLRU()
+	f := s.freeList[len(s.freeList)-1]
+	s.freeList = s.freeList[:len(s.freeList)-1]
+	return f
+}
+
+func (s *Space) evictOver() {
+	for len(s.table) > s.capFrames {
+		s.evictLRU()
+	}
+}
+
+func (s *Space) evictLRU() {
+	f := s.lruTail
+	if f == noFrame {
+		panic("extmem: cache empty but eviction requested")
+	}
+	fr := &s.frames[f]
+	if fr.dirty {
+		s.writeBack(fr.block, f)
+	}
+	delete(s.table, fr.block)
+	if s.lastBlock == fr.block {
+		s.lastBlock = -1
+		s.lastFrame = noFrame
+	}
+	fr.block = -1
+	fr.dirty = false
+	s.lruUnlink(f)
+	s.freeList = append(s.freeList, f)
+}
+
+func (s *Space) writeBack(b int64, f int32) {
+	s.stats.BlockWrites++
+	if err := s.backend.WriteBlock(b, s.data[int64(f)<<s.logB:(int64(f)+1)<<s.logB]); err != nil {
+		panic(fmt.Sprintf("extmem: write block %d: %v", b, err))
+	}
+}
+
+// LRU list management (intrusive doubly-linked list over frames).
+
+func (s *Space) lruPushFront(f int32) {
+	fr := &s.frames[f]
+	fr.prev = noFrame
+	fr.next = s.lruHead
+	if s.lruHead != noFrame {
+		s.frames[s.lruHead].prev = f
+	}
+	s.lruHead = f
+	if s.lruTail == noFrame {
+		s.lruTail = f
+	}
+}
+
+func (s *Space) lruUnlink(f int32) {
+	fr := &s.frames[f]
+	if fr.prev != noFrame {
+		s.frames[fr.prev].next = fr.next
+	} else if s.lruHead == f {
+		s.lruHead = fr.next
+	}
+	if fr.next != noFrame {
+		s.frames[fr.next].prev = fr.prev
+	} else if s.lruTail == f {
+		s.lruTail = fr.prev
+	}
+	fr.prev, fr.next = noFrame, noFrame
+}
+
+func (s *Space) lruTouch(f int32) {
+	if s.lruHead == f {
+		return
+	}
+	s.lruUnlink(f)
+	s.lruPushFront(f)
+}
+
+// Resident reports whether the block containing address a is currently in
+// internal memory. Used by tests and by the emit-witness checker.
+func (s *Space) Resident(a int64) bool {
+	_, ok := s.table[a>>s.logB]
+	return ok
+}
+
+func zero(w []Word) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

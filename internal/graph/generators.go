@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/hashing"
+)
+
+// Clique returns the complete graph K_n: the paper's lower-bound instance,
+// with E = n(n−1)/2 edges and t = C(n,3) = Θ(E^1.5) triangles.
+func Clique(n int) EdgeList {
+	el := EdgeList{NumVertices: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			el.Edges = append(el.Edges, PackOrdered(uint32(u), uint32(v)))
+		}
+	}
+	return el
+}
+
+// GNM returns an Erdős–Rényi random graph with n vertices and m distinct
+// edges, deterministic in seed.
+func GNM(n, m int, seed uint64) EdgeList {
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		m = int(maxEdges)
+	}
+	rng := hashing.NewRand(seed)
+	el := EdgeList{NumVertices: n}
+	seen := make(map[uint64]struct{}, m*2)
+	for len(el.Edges) < m {
+		u := uint32(rng.Intn(int64(n)))
+		v := uint32(rng.Intn(int64(n)))
+		if u == v {
+			continue
+		}
+		e := Pack(u, v)
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		el.Edges = append(el.Edges, e)
+	}
+	return el
+}
+
+// PowerLaw returns a Chung–Lu random graph: vertex i has expected degree
+// proportional to (i+1)^(−1/(exponent−1)), normalized so the expected edge
+// count is m. Heavy-tailed degree sequences are where the paper's
+// high-degree-vertex handling (Step 1 of the algorithms) matters.
+func PowerLaw(n, m int, exponent float64, seed uint64) EdgeList {
+	if exponent <= 1 {
+		panic("graph: power-law exponent must exceed 1")
+	}
+	rng := hashing.NewRand(seed)
+	w := make([]float64, n)
+	var total float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -1/(exponent-1))
+		total += w[i]
+	}
+	// Cumulative distribution for endpoint sampling.
+	cum := make([]float64, n)
+	acc := 0.0
+	for i := range w {
+		acc += w[i] / total
+		cum[i] = acc
+	}
+	pick := func() uint32 {
+		x := float64(rng.Next()>>11) / (1 << 53)
+		return uint32(sort.SearchFloat64s(cum, x))
+	}
+	el := EdgeList{NumVertices: n}
+	seen := make(map[uint64]struct{}, m*2)
+	attempts := 0
+	for len(el.Edges) < m && attempts < 50*m {
+		attempts++
+		u, v := pick(), v2(pick, n)
+		if u == v {
+			continue
+		}
+		e := Pack(u, v)
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		el.Edges = append(el.Edges, e)
+	}
+	return el
+}
+
+func v2(pick func() uint32, n int) uint32 {
+	v := pick()
+	if int(v) >= n {
+		v = uint32(n - 1)
+	}
+	return v
+}
+
+// Sells models the paper's introductory database example: a ternary
+// relation Sells(salesperson, brand, productType) in 5th normal form,
+// decomposed into three bipartite graphs. Salespeople are vertices
+// [0, nS), brands [nS, nS+nB), product types [nS+nB, nS+nB+nT). Each
+// salesperson carries `per` brands and `per` product types; a fraction
+// `avail` of all brand×type pairs is available. Every triangle is one row
+// of the reconstructed Sells relation.
+func Sells(nS, nB, nT, per int, avail float64, seed uint64) EdgeList {
+	rng := hashing.NewRand(seed)
+	el := EdgeList{NumVertices: nS + nB + nT}
+	bOff, tOff := uint32(nS), uint32(nS+nB)
+	seen := make(map[uint64]struct{})
+	add := func(a, b uint32) {
+		e := Pack(a, b)
+		if _, dup := seen[e]; !dup {
+			seen[e] = struct{}{}
+			el.Edges = append(el.Edges, e)
+		}
+	}
+	for s := uint32(0); s < uint32(nS); s++ {
+		for i := 0; i < per; i++ {
+			add(s, bOff+uint32(rng.Intn(int64(nB))))
+			add(s, tOff+uint32(rng.Intn(int64(nT))))
+		}
+	}
+	for b := uint32(0); b < uint32(nB); b++ {
+		for t := uint32(0); t < uint32(nT); t++ {
+			if float64(rng.Next()>>11)/(1<<53) < avail {
+				add(bOff+b, tOff+t)
+			}
+		}
+	}
+	return el
+}
+
+// BipartiteRandom returns a random bipartite graph (hence triangle-free):
+// the adversarial no-output workload.
+func BipartiteRandom(n1, n2, m int, seed uint64) EdgeList {
+	rng := hashing.NewRand(seed)
+	el := EdgeList{NumVertices: n1 + n2}
+	seen := make(map[uint64]struct{}, m*2)
+	max := int64(n1) * int64(n2)
+	if int64(m) > max {
+		m = int(max)
+	}
+	for len(el.Edges) < m {
+		u := uint32(rng.Intn(int64(n1)))
+		v := uint32(n1) + uint32(rng.Intn(int64(n2)))
+		e := Pack(u, v)
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		el.Edges = append(el.Edges, e)
+	}
+	return el
+}
+
+// Grid returns an r×c grid graph: sparse, triangle-free, maximum degree 4.
+func Grid(r, c int) EdgeList {
+	el := EdgeList{NumVertices: r * c}
+	id := func(i, j int) uint32 { return uint32(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				el.Edges = append(el.Edges, Pack(id(i, j), id(i, j+1)))
+			}
+			if i+1 < r {
+				el.Edges = append(el.Edges, Pack(id(i, j), id(i+1, j)))
+			}
+		}
+	}
+	return el
+}
+
+// PlantedClique returns GNM(n, m) plus a clique on k random vertices: a
+// controlled triangle-dense spot inside a sparse background.
+func PlantedClique(n, m, k int, seed uint64) EdgeList {
+	el := GNM(n, m, seed)
+	rng := hashing.NewRand(seed ^ 0xc11c)
+	seen := make(map[uint64]struct{}, len(el.Edges))
+	for _, e := range el.Edges {
+		seen[e] = struct{}{}
+	}
+	members := make([]uint32, 0, k)
+	chosen := map[uint32]bool{}
+	for len(members) < k && len(members) < n {
+		v := uint32(rng.Intn(int64(n)))
+		if !chosen[v] {
+			chosen[v] = true
+			members = append(members, v)
+		}
+	}
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			e := Pack(members[i], members[j])
+			if _, dup := seen[e]; !dup {
+				seen[e] = struct{}{}
+				el.Edges = append(el.Edges, e)
+			}
+		}
+	}
+	return el
+}
+
+// RMAT returns a recursive-matrix random graph (Chakrabarti et al.) with
+// 2^scale vertices and about m distinct edges; skewed like real networks.
+func RMAT(scale, m int, seed uint64) EdgeList {
+	rng := hashing.NewRand(seed)
+	n := 1 << uint(scale)
+	el := EdgeList{NumVertices: n}
+	seen := make(map[uint64]struct{}, m*2)
+	const a, b, c = 0.57, 0.19, 0.19 // d = 0.05
+	attempts := 0
+	for len(el.Edges) < m && attempts < 100*m {
+		attempts++
+		var u, v uint32
+		for bit := 0; bit < scale; bit++ {
+			x := float64(rng.Next()>>11) / (1 << 53)
+			switch {
+			case x < a:
+				// upper-left: no bits
+			case x < a+b:
+				v |= 1 << uint(bit)
+			case x < a+b+c:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		if u == v {
+			continue
+		}
+		e := Pack(u, v)
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		el.Edges = append(el.Edges, e)
+	}
+	return el
+}

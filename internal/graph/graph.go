@@ -1,0 +1,104 @@
+// Package graph provides the graph representation the paper works with:
+// simple undirected graphs whose edges are packed one per machine word,
+// vertices ordered by degree, and edges sorted lexicographically (Section
+// 1.3 of the paper). It also supplies deterministic workload generators
+// and an in-memory reference enumerator used as the correctness oracle.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/extmem"
+)
+
+// Pack packs an undirected edge into one word with the smaller endpoint in
+// the high 32 bits, so that uint64 order is lexicographic (u, v) order.
+func Pack(a, b uint32) extmem.Word {
+	if a > b {
+		a, b = b, a
+	}
+	return extmem.Word(a)<<32 | extmem.Word(b)
+}
+
+// PackOrdered packs (u, v) assuming u < v already holds.
+func PackOrdered(u, v uint32) extmem.Word {
+	return extmem.Word(u)<<32 | extmem.Word(v)
+}
+
+// U returns the smaller endpoint of a packed edge.
+func U(e extmem.Word) uint32 { return uint32(e >> 32) }
+
+// V returns the larger endpoint of a packed edge.
+func V(e extmem.Word) uint32 { return uint32(e) }
+
+// EdgeList is a graph in native memory, as produced by the generators:
+// normalized (u < v), possibly unsorted, with vertex ids in [0, NumVertices).
+type EdgeList struct {
+	NumVertices int
+	Edges       []extmem.Word
+}
+
+// Len returns the number of edges.
+func (el EdgeList) Len() int { return len(el.Edges) }
+
+// Add appends the undirected edge {a, b}, dropping self-loops.
+func (el *EdgeList) Add(a, b uint32) {
+	if a == b {
+		return
+	}
+	el.Edges = append(el.Edges, Pack(a, b))
+	if int(a) >= el.NumVertices {
+		el.NumVertices = int(a) + 1
+	}
+	if int(b) >= el.NumVertices {
+		el.NumVertices = int(b) + 1
+	}
+}
+
+// Write copies the edge list into freshly allocated external memory.
+func (el EdgeList) Write(sp *extmem.Space) extmem.Extent {
+	ext := sp.Alloc(int64(len(el.Edges)))
+	for i, e := range el.Edges {
+		ext.Write(int64(i), e)
+	}
+	return ext
+}
+
+// Triple is a triangle {V1 < V2 < V3}. Following Section 1.3, V1 is the
+// cone vertex and {V2, V3} the pivot edge.
+type Triple struct {
+	V1, V2, V3 uint32
+}
+
+// MakeTriple sorts three distinct vertices into a Triple.
+func MakeTriple(a, b, c uint32) Triple {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Triple{a, b, c}
+}
+
+func (t Triple) String() string {
+	return fmt.Sprintf("{%d,%d,%d}", t.V1, t.V2, t.V3)
+}
+
+// Emit receives each enumerated triangle exactly once, with v1 < v2 < v3.
+// All three edges of the triangle are resident in (simulated) internal
+// memory at the moment of the call, per the paper's enumeration contract.
+type Emit func(v1, v2, v3 uint32)
+
+// Counter returns an Emit that counts triangles into *n.
+func Counter(n *uint64) Emit {
+	return func(_, _, _ uint32) { *n++ }
+}
+
+// Collector returns an Emit that appends triples to *out.
+func Collector(out *[]Triple) Emit {
+	return func(a, b, c uint32) { *out = append(*out, Triple{a, b, c}) }
+}

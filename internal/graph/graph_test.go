@@ -1,0 +1,361 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emsort"
+	"repro/internal/extmem"
+)
+
+func newSpace() *extmem.Space {
+	return extmem.NewSpace(extmem.Config{M: 1 << 12, B: 1 << 6})
+}
+
+func TestPackUnpack(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		e := Pack(a, b)
+		u, v := U(e), V(e)
+		if a == b {
+			return u == v
+		}
+		return u < v && ((u == a && v == b) || (u == b && v == a))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackOrderIsLexicographic(t *testing.T) {
+	a := PackOrdered(1, 5)
+	b := PackOrdered(1, 6)
+	c := PackOrdered(2, 3)
+	if !(a < b && b < c) {
+		t.Error("packed order is not lexicographic")
+	}
+}
+
+func TestMakeTriple(t *testing.T) {
+	prop := func(a, b, c uint32) bool {
+		tr := MakeTriple(a, b, c)
+		return tr.V1 <= tr.V2 && tr.V2 <= tr.V3
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	if got := MakeTriple(9, 2, 5); got != (Triple{2, 5, 9}) {
+		t.Errorf("MakeTriple(9,2,5) = %v", got)
+	}
+}
+
+func TestCliqueProperties(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 10, 40} {
+		el := Clique(n)
+		want := n * (n - 1) / 2
+		if len(el.Edges) != want {
+			t.Errorf("K_%d has %d edges, want %d", n, len(el.Edges), want)
+		}
+	}
+	o := NewOracle(Clique(10))
+	if o.Count() != 120 { // C(10,3)
+		t.Errorf("K_10 triangles = %d, want 120", o.Count())
+	}
+}
+
+func TestGNMProperties(t *testing.T) {
+	el := GNM(100, 500, 7)
+	if len(el.Edges) != 500 {
+		t.Fatalf("GNM edge count %d", len(el.Edges))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range el.Edges {
+		if U(e) == V(e) {
+			t.Fatal("self loop")
+		}
+		if U(e) > V(e) {
+			t.Fatal("not normalized")
+		}
+		if seen[e] {
+			t.Fatal("duplicate edge")
+		}
+		seen[e] = true
+	}
+	// Determinism.
+	el2 := GNM(100, 500, 7)
+	for i := range el.Edges {
+		if el.Edges[i] != el2.Edges[i] {
+			t.Fatal("GNM not deterministic")
+		}
+	}
+	el3 := GNM(100, 500, 8)
+	diff := false
+	for i := range el.Edges {
+		if el.Edges[i] != el3.Edges[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds gave identical graphs")
+	}
+	// Overfull request is clamped.
+	small := GNM(5, 100, 1)
+	if len(small.Edges) != 10 {
+		t.Errorf("clamped GNM(5, 100) = %d edges, want 10", len(small.Edges))
+	}
+}
+
+func TestTriangleFreeGenerators(t *testing.T) {
+	if n := NewOracle(BipartiteRandom(50, 50, 400, 3)).Count(); n != 0 {
+		t.Errorf("bipartite graph has %d triangles", n)
+	}
+	if n := NewOracle(Grid(8, 9)).Count(); n != 0 {
+		t.Errorf("grid graph has %d triangles", n)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	el := Grid(3, 4)
+	want := 3*3 + 2*4 // horizontal + vertical
+	if len(el.Edges) != want {
+		t.Errorf("grid edges %d want %d", len(el.Edges), want)
+	}
+}
+
+func TestPlantedCliqueHasAtLeastCliqueTriangles(t *testing.T) {
+	k := 8
+	el := PlantedClique(200, 100, k, 5)
+	o := NewOracle(el)
+	min := uint64(k * (k - 1) * (k - 2) / 6)
+	if o.Count() < min {
+		t.Errorf("planted clique: %d triangles, want >= %d", o.Count(), min)
+	}
+}
+
+func TestSellsTriangleSemantics(t *testing.T) {
+	// Every triangle must span one salesperson, one brand, one type.
+	nS, nB, nT := 20, 10, 10
+	el := Sells(nS, nB, nT, 3, 0.5, 11)
+	o := NewOracle(el)
+	if o.Count() == 0 {
+		t.Fatal("sells instance has no triangles; broken generator")
+	}
+	kind := func(v uint32) int {
+		switch {
+		case v < uint32(nS):
+			return 0
+		case v < uint32(nS+nB):
+			return 1
+		default:
+			return 2
+		}
+	}
+	for _, tr := range o.Triples() {
+		if kind(tr.V1) != 0 || kind(tr.V2) != 1 || kind(tr.V3) != 2 {
+			t.Fatalf("triangle %v does not span S,B,T", tr)
+		}
+	}
+}
+
+func TestRMATAndPowerLawProduceGraphs(t *testing.T) {
+	el := RMAT(8, 600, 3)
+	if len(el.Edges) < 500 {
+		t.Errorf("RMAT produced only %d edges", len(el.Edges))
+	}
+	pl := PowerLaw(300, 900, 2.5, 4)
+	if len(pl.Edges) < 800 {
+		t.Errorf("PowerLaw produced only %d edges", len(pl.Edges))
+	}
+	for _, e := range append(el.Edges, pl.Edges...) {
+		if U(e) >= V(e) {
+			t.Fatal("unnormalized or self-loop edge")
+		}
+	}
+}
+
+func TestCanonicalizeSmall(t *testing.T) {
+	// Path 0-1-2 plus edge 0-2: one triangle; vertex degrees all 2.
+	var el EdgeList
+	el.Add(0, 1)
+	el.Add(1, 2)
+	el.Add(0, 2)
+	sp := newSpace()
+	c := CanonicalizeList(sp, el)
+	if c.NumVertices != 3 || c.Edges.Len() != 3 {
+		t.Fatalf("V=%d E=%d", c.NumVertices, c.Edges.Len())
+	}
+	if !emsort.IsSorted(c.Edges, 1, emsort.Identity) {
+		t.Error("canonical edges not sorted")
+	}
+	for r := 0; r < 3; r++ {
+		if c.Degrees.Read(int64(r)) != 2 {
+			t.Errorf("degree of rank %d = %d", r, c.Degrees.Read(int64(r)))
+		}
+	}
+}
+
+func TestCanonicalizeInvariants(t *testing.T) {
+	graphs := map[string]EdgeList{
+		"gnm":     GNM(120, 700, 1),
+		"clique":  Clique(25),
+		"rmat":    RMAT(7, 400, 2),
+		"powlaw":  PowerLaw(150, 600, 2.2, 3),
+		"grid":    Grid(10, 10),
+		"bipart":  BipartiteRandom(40, 40, 300, 4),
+		"planted": PlantedClique(100, 200, 10, 5),
+	}
+	for name, el := range graphs {
+		sp := newSpace()
+		c := CanonicalizeList(sp, el)
+		checkCanonical(t, name, el, c)
+	}
+}
+
+func checkCanonical(t *testing.T, name string, el EdgeList, c Canonical) {
+	t.Helper()
+	// Dedup reference edges.
+	ref := map[uint64]bool{}
+	for _, e := range el.Edges {
+		ref[e] = true
+	}
+	if int(c.Edges.Len()) != len(ref) {
+		t.Errorf("%s: canonical has %d edges, want %d", name, c.Edges.Len(), len(ref))
+		return
+	}
+	if !emsort.IsSorted(c.Edges, 1, emsort.Identity) {
+		t.Errorf("%s: canonical edges not sorted", name)
+	}
+	// Every canonical edge maps back to an input edge; u < v in rank space.
+	var prevDeg uint64
+	for r := 0; r < c.NumVertices; r++ {
+		d := c.Degrees.Read(int64(r))
+		if d < prevDeg {
+			t.Errorf("%s: degrees not nondecreasing at rank %d", name, r)
+			break
+		}
+		prevDeg = d
+	}
+	degCount := map[uint32]uint64{}
+	for i := int64(0); i < c.Edges.Len(); i++ {
+		e := c.Edges.Read(i)
+		ru, rv := U(e), V(e)
+		if ru >= rv {
+			t.Errorf("%s: edge %d not rank-normalized", name, i)
+		}
+		orig := Pack(c.RankToID[ru], c.RankToID[rv])
+		if !ref[orig] {
+			t.Errorf("%s: canonical edge %d maps to nonexistent input edge", name, i)
+		}
+		delete(ref, orig)
+		degCount[ru]++
+		degCount[rv]++
+	}
+	if len(ref) != 0 {
+		t.Errorf("%s: %d input edges missing from canonical form", name, len(ref))
+	}
+	for r, d := range degCount {
+		if c.Degrees.Read(int64(r)) != d {
+			t.Errorf("%s: rank %d degree %d, recomputed %d", name, r, c.Degrees.Read(int64(r)), d)
+		}
+	}
+	// Triangle count is invariant under relabeling.
+	oOrig := NewOracle(el)
+	relabeled := EdgeList{NumVertices: c.NumVertices}
+	for i := int64(0); i < c.Edges.Len(); i++ {
+		e := c.Edges.Read(i)
+		relabeled.Edges = append(relabeled.Edges, e)
+	}
+	if got := NewOracle(relabeled).Count(); got != oOrig.Count() {
+		t.Errorf("%s: triangle count changed under canonicalization: %d vs %d", name, got, oOrig.Count())
+	}
+}
+
+func TestCanonicalizeDedupAndSelfLoops(t *testing.T) {
+	var el EdgeList
+	el.Add(3, 3) // dropped by Add
+	el.Add(1, 2)
+	el.Edges = append(el.Edges, Pack(1, 2), Pack(2, 1)) // duplicates
+	sp := newSpace()
+	c := CanonicalizeList(sp, el)
+	if c.Edges.Len() != 1 {
+		t.Errorf("dedup failed: %d edges", c.Edges.Len())
+	}
+}
+
+func TestCanonicalizeEmpty(t *testing.T) {
+	sp := newSpace()
+	c := CanonicalizeList(sp, EdgeList{})
+	if c.Edges.Len() != 0 || c.NumVertices != 0 {
+		t.Error("empty graph canonicalization")
+	}
+}
+
+func TestCanonicalizeWithObliviousSorter(t *testing.T) {
+	el := GNM(80, 400, 9)
+	sp := newSpace()
+	raw := el.Write(sp)
+	c := Canonicalize(sp, raw, emsort.FunnelSortRecords)
+	checkCanonical(t, "oblivious", el, c)
+}
+
+func TestOracleAgainstBruteForce(t *testing.T) {
+	el := GNM(30, 130, 6)
+	adj := map[uint64]bool{}
+	for _, e := range el.Edges {
+		adj[e] = true
+	}
+	var brute []Triple
+	for a := uint32(0); a < 30; a++ {
+		for b := a + 1; b < 30; b++ {
+			if !adj[Pack(a, b)] {
+				continue
+			}
+			for c := b + 1; c < 30; c++ {
+				if adj[Pack(a, c)] && adj[Pack(b, c)] {
+					brute = append(brute, Triple{a, b, c})
+				}
+			}
+		}
+	}
+	o := NewOracle(el)
+	ok, diag := o.SameSet(brute)
+	if !ok {
+		t.Errorf("oracle disagrees with brute force: %s", diag)
+	}
+}
+
+func TestOracleSameSetDetectsErrors(t *testing.T) {
+	el := Clique(5)
+	o := NewOracle(el)
+	good := append([]Triple(nil), o.Triples()...)
+	if ok, _ := o.SameSet(good); !ok {
+		t.Error("SameSet rejected the correct set")
+	}
+	if ok, _ := o.SameSet(good[1:]); ok {
+		t.Error("SameSet accepted a missing triangle")
+	}
+	dup := append(append([]Triple(nil), good...), good[0])
+	if ok, _ := o.SameSet(dup); ok {
+		t.Error("SameSet accepted a duplicate")
+	}
+	wrong := append([]Triple(nil), good...)
+	wrong[0] = Triple{90, 91, 92}
+	if ok, _ := o.SameSet(wrong); ok {
+		t.Error("SameSet accepted a wrong triangle")
+	}
+}
+
+func TestCounterAndCollector(t *testing.T) {
+	var n uint64
+	e := Counter(&n)
+	e(1, 2, 3)
+	e(4, 5, 6)
+	if n != 2 {
+		t.Error("Counter")
+	}
+	var ts []Triple
+	c := Collector(&ts)
+	c(1, 2, 3)
+	if len(ts) != 1 || ts[0] != (Triple{1, 2, 3}) {
+		t.Error("Collector")
+	}
+}

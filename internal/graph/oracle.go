@@ -1,0 +1,157 @@
+package graph
+
+import "sort"
+
+// Oracle enumerates triangles entirely in native memory using the standard
+// degree-ordered forward-adjacency intersection algorithm (O(E^1.5) work).
+// It is the correctness reference every external-memory algorithm is
+// checked against; it plays no part in the I/O experiments.
+type Oracle struct {
+	triples []Triple
+}
+
+// NewOracle enumerates all triangles of el. Duplicate edges and self-loops
+// in el are ignored.
+func NewOracle(el EdgeList) *Oracle {
+	// Dedup edges.
+	edges := append([]uint64(nil), el.Edges...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	edges = dedupSorted(edges)
+
+	// Degree-rank the vertices (degree asc, id tiebreak), like Section 1.3.
+	deg := map[uint32]int{}
+	for _, e := range edges {
+		deg[U(e)]++
+		deg[V(e)]++
+	}
+	ids := make([]uint32, 0, len(deg))
+	for id := range deg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := deg[ids[i]], deg[ids[j]]
+		return di < dj || (di == dj && ids[i] < ids[j])
+	})
+	rank := make(map[uint32]uint32, len(ids))
+	for r, id := range ids {
+		rank[id] = uint32(r)
+	}
+
+	// Forward adjacency in rank order.
+	fwd := make([][]uint32, len(ids))
+	for _, e := range edges {
+		ru, rv := rank[U(e)], rank[V(e)]
+		if ru > rv {
+			ru, rv = rv, ru
+		}
+		fwd[ru] = append(fwd[ru], rv)
+	}
+	for _, l := range fwd {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+
+	o := &Oracle{}
+	for u := range fwd {
+		lu := fwd[u]
+		for _, v := range lu {
+			lv := fwd[v]
+			// Intersect lu and lv by merge.
+			i, j := 0, 0
+			for i < len(lu) && j < len(lv) {
+				switch {
+				case lu[i] < lv[j]:
+					i++
+				case lu[i] > lv[j]:
+					j++
+				default:
+					o.triples = append(o.triples,
+						MakeTriple(ids[u], ids[v], ids[lu[i]]))
+					i++
+					j++
+				}
+			}
+		}
+	}
+	sort.Slice(o.triples, func(i, j int) bool { return tripleLess(o.triples[i], o.triples[j]) })
+	return o
+}
+
+// Count returns the number of triangles.
+func (o *Oracle) Count() uint64 { return uint64(len(o.triples)) }
+
+// Triples returns the triangles sorted by (V1, V2, V3) in original ids.
+func (o *Oracle) Triples() []Triple { return o.triples }
+
+// SameSet reports whether got (in any order, original ids) is exactly the
+// oracle's triangle set with no duplicates, returning a diagnostic string
+// when it is not.
+func (o *Oracle) SameSet(got []Triple) (bool, string) {
+	if len(got) != len(o.triples) {
+		return false, diffMsg(o.triples, got)
+	}
+	sorted := append([]Triple(nil), got...)
+	sort.Slice(sorted, func(i, j int) bool { return tripleLess(sorted[i], sorted[j]) })
+	for i := range sorted {
+		if sorted[i] != o.triples[i] {
+			return false, diffMsg(o.triples, sorted)
+		}
+	}
+	return true, ""
+}
+
+func tripleLess(a, b Triple) bool {
+	if a.V1 != b.V1 {
+		return a.V1 < b.V1
+	}
+	if a.V2 != b.V2 {
+		return a.V2 < b.V2
+	}
+	return a.V3 < b.V3
+}
+
+func diffMsg(want, got []Triple) string {
+	w := map[Triple]int{}
+	for _, t := range want {
+		w[t]++
+	}
+	for _, t := range got {
+		w[t]--
+	}
+	var missing, extra []Triple
+	for t, c := range w {
+		for ; c > 0; c-- {
+			missing = append(missing, t)
+		}
+		for ; c < 0; c++ {
+			extra = append(extra, t)
+		}
+	}
+	limit := func(ts []Triple) []Triple {
+		if len(ts) > 8 {
+			return ts[:8]
+		}
+		return ts
+	}
+	return "missing=" + sprintTriples(limit(missing)) + " extra=" + sprintTriples(limit(extra))
+}
+
+func sprintTriples(ts []Triple) string {
+	s := "["
+	for i, t := range ts {
+		if i > 0 {
+			s += " "
+		}
+		s += t.String()
+	}
+	return s + "]"
+}
+
+func dedupSorted(xs []uint64) []uint64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

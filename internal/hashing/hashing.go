@@ -1,0 +1,134 @@
+// Package hashing provides the random primitives the paper's algorithms
+// rely on: a deterministic seeded PRNG, and 4-wise independent hash
+// families (degree-3 polynomials over the Mersenne prime 2^61−1) used for
+// the color-coding of Section 2 and the per-level bits of Section 3.
+package hashing
+
+import "math/bits"
+
+// mersenne61 is the prime 2^61 − 1; arithmetic modulo it reduces with
+// shifts and adds, and the field is large enough for 32-bit vertex ids.
+const mersenne61 = (1 << 61) - 1
+
+// Rand is a small deterministic PRNG (splitmix64). It is used to derive
+// hash-function coefficients reproducibly from a user seed; it is not a
+// source of cryptographic randomness.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Next returns the next pseudo-random 64-bit value.
+func (r *Rand) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random value in [0, n).
+func (r *Rand) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("hashing: Intn with n <= 0")
+	}
+	return int64(r.Next() % uint64(n))
+}
+
+// Split derives an independent generator; used to give each recursion path
+// of the cache-oblivious algorithm its own randomness deterministically.
+func (r *Rand) Split(label uint64) *Rand {
+	return NewRand(r.Next() ^ mix(label))
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// mulMod61 multiplies two values modulo 2^61 − 1.
+func mulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo = hi*8*2^61 + lo ≡ hi*8 + lo (mod 2^61-1), split lo.
+	res := (lo & mersenne61) + (lo >> 61) + hi*8
+	res = (res & mersenne61) + (res >> 61)
+	if res >= mersenne61 {
+		res -= mersenne61
+	}
+	return res
+}
+
+// Poly4 is a 4-wise independent hash family member: a uniformly random
+// degree-3 polynomial over GF(2^61 − 1). For distinct inputs x1..x4 the
+// values h(x1)..h(x4) are independent and uniform over the field.
+type Poly4 struct {
+	a [4]uint64
+}
+
+// NewPoly4 draws a function from the family using rng.
+func NewPoly4(rng *Rand) Poly4 {
+	var p Poly4
+	for i := range p.a {
+		p.a[i] = rng.Next() % mersenne61
+	}
+	return p
+}
+
+// Hash evaluates the polynomial at x, returning a value in [0, 2^61−1).
+func (p Poly4) Hash(x uint64) uint64 {
+	x %= mersenne61
+	h := p.a[3]
+	h = mulMod61(h, x) + p.a[2]
+	if h >= mersenne61 {
+		h -= mersenne61
+	}
+	h = mulMod61(h, x) + p.a[1]
+	if h >= mersenne61 {
+		h -= mersenne61
+	}
+	h = mulMod61(h, x) + p.a[0]
+	if h >= mersenne61 {
+		h -= mersenne61
+	}
+	return h
+}
+
+// Bit returns a 4-wise independent bit for x, as needed by step 2 of the
+// cache-oblivious recursion.
+func (p Poly4) Bit(x uint64) uint64 {
+	// Use a high bit of the field element; low bits are slightly biased by
+	// the mod-p range, high bits negligibly so (bias < 2^-60).
+	return (p.Hash(x) >> 60) & 1
+}
+
+// Coloring maps vertices 4-wise independently onto colors {0, ..., c−1},
+// the coloring ξ of Section 2.
+type Coloring struct {
+	p Poly4
+	c uint64
+}
+
+// NewColoring draws a coloring with c colors.
+func NewColoring(rng *Rand, c int) Coloring {
+	if c <= 0 {
+		panic("hashing: coloring needs at least one color")
+	}
+	return Coloring{p: NewPoly4(rng), c: uint64(c)}
+}
+
+// Colors returns the number of colors c.
+func (cl Coloring) Colors() int { return int(cl.c) }
+
+// Color returns ξ(v) in [0, c).
+func (cl Coloring) Color(v uint32) uint32 {
+	// Multiply-shift from [0, 2^61) onto [0, c): each color class has mass
+	// within 2^-61 of 1/c, preserving the 4-wise independence bound of
+	// Lemma 3 up to negligible terms.
+	h := cl.p.Hash(uint64(v))
+	hi, _ := bits.Mul64(h<<3, cl.c) // h < 2^61, so h<<3 spans [0, 2^64)
+	return uint32(hi)
+}

@@ -1,0 +1,205 @@
+// Package join implements the database application that motivates the
+// paper (Section 1): reconstructing a ternary relation in 5th normal form
+// from its three binary projections. The relation
+// Sells(salesperson, brand, productType) decomposes into
+// SB(salesperson, brand), BT(brand, productType) and
+// ST(salesperson, productType); computing SB ⋈ BT ⋈ ST is exactly triangle
+// enumeration on the union of the three bipartite graphs, with every
+// triangle corresponding to one row of the join.
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/extmem"
+	"repro/internal/graph"
+	"repro/internal/trienum"
+)
+
+// Pair is one tuple of a binary relation.
+type Pair struct{ A, B string }
+
+// Row is one tuple of the reconstructed ternary relation.
+type Row struct{ Salesperson, Brand, ProductType string }
+
+// Decomposition holds the three binary projections of a 5NF-decomposed
+// ternary relation.
+type Decomposition struct {
+	SB []Pair // (salesperson, brand)
+	BT []Pair // (brand, productType)
+	ST []Pair // (salesperson, productType)
+}
+
+// Algorithm selects the triangle-enumeration algorithm used for the join.
+type Algorithm int
+
+const (
+	// CacheAware is the randomized algorithm of Section 2.
+	CacheAware Algorithm = iota
+	// CacheOblivious is the algorithm of Section 3.
+	CacheOblivious
+	// Deterministic is the derandomized algorithm of Section 4.
+	Deterministic
+	// HuTaoChung is the SIGMOD 2013 baseline.
+	HuTaoChung
+)
+
+// Options configures Join.
+type Options struct {
+	Algorithm Algorithm
+	// MemoryWords and BlockWords describe the simulated machine; zero
+	// values default to 1<<16 and 1<<7.
+	MemoryWords int
+	BlockWords  int
+	Seed        uint64
+}
+
+// Stats reports the I/O work of a join.
+type Stats struct {
+	Rows       uint64
+	IOs        uint64
+	BlockReads uint64
+	BlockWrite uint64
+}
+
+// dictionary interns strings of one attribute class into dense ids.
+type dictionary struct {
+	ids   map[string]uint32
+	names []string
+}
+
+func newDictionary() *dictionary { return &dictionary{ids: map[string]uint32{}} }
+
+func (d *dictionary) intern(s string) uint32 {
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	id := uint32(len(d.names))
+	d.ids[s] = id
+	d.names = append(d.names, s)
+	return id
+}
+
+// Join computes SB ⋈ BT ⋈ ST and returns its rows (in no particular
+// order) together with I/O statistics of the underlying enumeration.
+func (dec Decomposition) Join(opt Options, visit func(Row)) (Stats, error) {
+	var st Stats
+	m, b := opt.MemoryWords, opt.BlockWords
+	if m == 0 {
+		m = 1 << 16
+	}
+	if b == 0 {
+		b = 1 << 7
+	}
+	sp, err := newSpace(m, b)
+	if err != nil {
+		return st, err
+	}
+
+	// Dictionary-encode the three attribute classes into disjoint vertex
+	// ranges: salespeople, then brands, then product types.
+	sd, bd, td := newDictionary(), newDictionary(), newDictionary()
+	for _, p := range dec.SB {
+		sd.intern(p.A)
+		bd.intern(p.B)
+	}
+	for _, p := range dec.BT {
+		bd.intern(p.A)
+		td.intern(p.B)
+	}
+	for _, p := range dec.ST {
+		sd.intern(p.A)
+		td.intern(p.B)
+	}
+	bOff := uint32(len(sd.names))
+	tOff := bOff + uint32(len(bd.names))
+
+	var el graph.EdgeList
+	for _, p := range dec.SB {
+		el.Add(sd.ids[p.A], bOff+bd.ids[p.B])
+	}
+	for _, p := range dec.BT {
+		el.Add(bOff+bd.ids[p.A], tOff+td.ids[p.B])
+	}
+	for _, p := range dec.ST {
+		el.Add(sd.ids[p.A], tOff+td.ids[p.B])
+	}
+
+	g := graph.CanonicalizeList(sp, el)
+	sp.DropCache()
+	sp.ResetStats()
+
+	emit := func(a, b, c uint32) {
+		// Map ranks back to ids; the tripartite structure means each
+		// triangle has exactly one vertex per class.
+		var s, br, ty string
+		for _, r := range [3]uint32{a, b, c} {
+			id := g.RankToID[r]
+			switch {
+			case id < bOff:
+				s = sd.names[id]
+			case id < tOff:
+				br = bd.names[id-bOff]
+			default:
+				ty = td.names[id-tOff]
+			}
+		}
+		st.Rows++
+		visit(Row{Salesperson: s, Brand: br, ProductType: ty})
+	}
+
+	switch opt.Algorithm {
+	case CacheAware:
+		trienum.CacheAware(sp, g, opt.Seed, emit)
+	case CacheOblivious:
+		trienum.Oblivious(sp, g, opt.Seed, emit)
+	case Deterministic:
+		if _, err := trienum.Deterministic(sp, g, 0, emit); err != nil {
+			return st, err
+		}
+	case HuTaoChung:
+		trienum.HuTaoChung(sp, g, emit)
+	default:
+		return st, fmt.Errorf("join: unknown algorithm %d", opt.Algorithm)
+	}
+	ios := sp.Stats()
+	st.IOs = ios.IOs()
+	st.BlockReads = ios.BlockReads
+	st.BlockWrite = ios.BlockWrites
+	return st, nil
+}
+
+func newSpace(m, b int) (*extmem.Space, error) {
+	if b <= 0 || b&(b-1) != 0 || m < 2*b || m < b*b {
+		return nil, fmt.Errorf("join: invalid machine M=%d B=%d (need power-of-two B, M >= max(2B, B²))", m, b)
+	}
+	return extmem.NewSpace(extmem.Config{M: m, B: b}), nil
+}
+
+// Decompose projects a ternary relation onto its three binary
+// projections, deduplicating pairs. If the relation is in 5th normal
+// form, Join(Decompose(R)) reconstructs R exactly.
+func Decompose(rows []Row) Decomposition {
+	var dec Decomposition
+	sb := map[Pair]bool{}
+	bt := map[Pair]bool{}
+	st := map[Pair]bool{}
+	for _, r := range rows {
+		p1 := Pair{r.Salesperson, r.Brand}
+		p2 := Pair{r.Brand, r.ProductType}
+		p3 := Pair{r.Salesperson, r.ProductType}
+		if !sb[p1] {
+			sb[p1] = true
+			dec.SB = append(dec.SB, p1)
+		}
+		if !bt[p2] {
+			bt[p2] = true
+			dec.BT = append(dec.BT, p2)
+		}
+		if !st[p3] {
+			st[p3] = true
+			dec.ST = append(dec.ST, p3)
+		}
+	}
+	return dec
+}

@@ -1,0 +1,235 @@
+package trienum
+
+import (
+	"math"
+
+	"repro/internal/emio"
+	"repro/internal/emsort"
+	"repro/internal/extmem"
+	"repro/internal/graph"
+	"repro/internal/hashing"
+)
+
+// CacheAware enumerates all triangles of g with the randomized cache-aware
+// algorithm of Section 2, using O(E^1.5/(sqrt(M)·B)) I/Os in expectation:
+//
+//  1. Triangles with a high-degree vertex (deg > sqrt(E·M)) are found by
+//     the Lemma 1 subroutine, one vertex at a time, removing each vertex's
+//     edges afterwards. There are fewer than sqrt(E/M) such vertices.
+//  2. A 4-wise independent coloring ξ: V → [c], c = ceil(sqrt(E/M)),
+//     partitions the remaining edges into color-pair buckets E_{τ1,τ2}.
+//  3. Each of the c³ color triples (τ1,τ2,τ3) is solved by the Lemma 2
+//     kernel with pivot set E_{τ2,τ3} and edge set
+//     E_{τ1,τ2} ∪ E_{τ1,τ3} ∪ E_{τ2,τ3}, keeping only triangles whose
+//     cone vertex has color τ1.
+//
+// Triangles are emitted in rank space, exactly once each.
+func CacheAware(sp *extmem.Space, g graph.Canonical, seed uint64, emit graph.Emit) Info {
+	return CacheAwareWithOptions(sp, g, seed, Options{}, emit)
+}
+
+// Options exposes ablation knobs for experiments on the cache-aware
+// algorithm's design choices. The zero value is the paper's algorithm.
+type Options struct {
+	// DisableHighDegree skips step 1 (Lemma 1 on vertices with degree
+	// greater than sqrt(E·M)). The algorithm remains correct — the color
+	// triples still cover every triangle — but Lemma 3's bound on X_ξ no
+	// longer holds on skewed degree distributions, and the I/O cost of
+	// step 3 degrades accordingly.
+	DisableHighDegree bool
+	// ForceColors overrides c = ceil(sqrt(E/M)) when positive. c = 1
+	// degenerates to the Hu–Tao–Chung algorithm on the low-degree
+	// subgraph.
+	ForceColors int
+}
+
+// CacheAwareWithOptions is CacheAware with ablation knobs.
+func CacheAwareWithOptions(sp *extmem.Space, g graph.Canonical, seed uint64, opt Options, emit graph.Emit) Info {
+	var info Info
+	emit = countingEmit(&info, emit)
+	E := g.Edges.Len()
+	if E == 0 {
+		return info
+	}
+	cfg := sp.Config()
+	mark := sp.Mark()
+	defer sp.Release(mark)
+
+	work := sp.Alloc(E)
+	g.Edges.CopyTo(work)
+
+	// Step 1: high-degree vertices. Ranks are assigned in degree order, so
+	// V_h is a suffix of the rank range.
+	curLen := E
+	if !opt.DisableHighDegree {
+		scratch := sp.Alloc(E)
+		curLen = highDegreeStep(sp, work, scratch, g, float64(cfg.M), emsort.SortRecords, nil, emit, &info)
+	}
+
+	// Steps 2–3 on the low-degree remainder.
+	c := ceilSqrt(float64(E) / float64(cfg.M))
+	if opt.ForceColors > 0 {
+		c = opt.ForceColors
+	}
+	info.Colors = c
+	col := hashing.NewColoring(hashing.NewRand(seed), c)
+	solveColored(sp, work.Prefix(curLen), col.Color, c, &info, emit)
+	return info
+}
+
+// highDegreeStep enumerates and removes all triangles containing a vertex
+// of degree greater than sqrt(E·M), per step 1 of the cache-aware
+// algorithms. It returns the number of surviving edges (compacted to the
+// prefix of work). filter, if non-nil, vetoes emissions. The sorter
+// parameterizes Lemma 1's sorting.
+func highDegreeStep(sp *extmem.Space, work, scratch extmem.Extent, g graph.Canonical, m float64, sorter graph.SortFunc, filter func(a, b, c uint32) bool, emit graph.Emit, info *Info) int64 {
+	E := work.Len()
+	th := math.Sqrt(float64(E) * m)
+	v := g.NumVertices
+	// Degrees are nondecreasing in rank; walk back from the top.
+	r0 := v
+	for r0 > 0 && float64(g.Degrees.Read(int64(r0-1))) > th {
+		r0--
+	}
+	curLen := E
+	for r := v - 1; r >= r0; r-- {
+		vr := uint32(r)
+		enumerateContaining(sp, work.Prefix(curLen), vr, sorter, func(u, w uint32) {
+			// All other high-degree vertices processed so far had their
+			// edges removed, so u, w < vr and the sorted triple is (u,w,vr).
+			if filter == nil || filter(u, w, vr) {
+				emit(u, w, vr)
+			}
+		})
+		curLen = removeIncident(work.Prefix(curLen), scratch, vr)
+		info.HighDegVertices++
+	}
+	return curLen
+}
+
+// solveColored runs steps 2 and 3 shared by the cache-aware randomized and
+// the deterministic algorithms: partition edges by the color pair of their
+// endpoints under colorOf, then solve every color triple with the kernel.
+// edges is clobbered (sorted by color pair).
+func solveColored(sp *extmem.Space, edges extmem.Extent, colorOf func(uint32) uint32, c int, info *Info, emit graph.Emit) {
+	E := edges.Len()
+	if E == 0 {
+		return
+	}
+	if c <= 1 {
+		// Single subproblem: this is exactly the Hu–Tao–Chung algorithm
+		// applied to the whole edge set.
+		emsort.SortRecords(edges, 1, emsort.Identity)
+		kernel(sp, edges, edges, 0, nil, emit)
+		info.Subproblems++
+		return
+	}
+	cc := uint64(c)
+	pairKey := func(e extmem.Word) uint64 {
+		return uint64(colorOf(graph.U(e)))*cc + uint64(colorOf(graph.V(e)))
+	}
+	// The sorters tie-break equal keys by the full word, so each bucket
+	// comes out internally sorted in canonical edge order.
+	emsort.SortRecords(edges, 1, pairKey)
+
+	// Bucket offsets: c² + 1 native words of internal memory — within
+	// budget under the paper's assumption c² = E/M <= M, i.e. M >= sqrt(E).
+	release := leaseAtMost(sp, c*c+1)
+	defer release()
+	off := make([]int64, c*c+1)
+	counts := make([]int64, c*c)
+	emio.ForEach(edges, func(_ int64, e extmem.Word) {
+		counts[pairKey(e)]++
+	})
+	var acc int64
+	for i, n := range counts {
+		off[i] = acc
+		acc += n
+		// X_ξ: pairs of edges sharing a bucket (Lemma 3's random variable).
+		info.X += uint64(n) * uint64(n-1) / 2
+	}
+	off[c*c] = acc
+
+	bucket := func(t1, t2 int) extmem.Extent {
+		i := t1*c + t2
+		return edges.Slice(off[i], off[i+1])
+	}
+
+	mark := sp.Mark()
+	defer sp.Release(mark)
+	union := sp.Alloc(E)
+
+	for t1 := 0; t1 < c; t1++ {
+		for t2 := 0; t2 < c; t2++ {
+			b01 := bucket(t1, t2)
+			if b01.Len() == 0 {
+				continue // no {v1,v2} edges for this (τ1,τ2)
+			}
+			for t3 := 0; t3 < c; t3++ {
+				b02 := bucket(t1, t3)
+				b12 := bucket(t2, t3)
+				if b02.Len() == 0 || b12.Len() == 0 {
+					continue
+				}
+				// Union of the (distinct) buckets, preserving sort order.
+				parts := distinctExtents(b01, b02, b12)
+				un := mergeSortedInto(union, parts)
+				tau1 := uint32(t1)
+				kernel(sp, un, b12, 0, func(v, _, _ uint32) bool {
+					return colorOf(v) == tau1
+				}, emit)
+				info.Subproblems++
+			}
+		}
+	}
+}
+
+// distinctExtents drops duplicate extents (same base), which arise when
+// colors in a triple coincide and two bucket names alias one bucket.
+func distinctExtents(exts ...extmem.Extent) []extmem.Extent {
+	var out []extmem.Extent
+	for _, e := range exts {
+		dup := false
+		for _, o := range out {
+			if o.Base() == e.Base() {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// mergeSortedInto k-way merges the sorted extents in parts into the prefix
+// of dst and returns that prefix.
+func mergeSortedInto(dst extmem.Extent, parts []extmem.Extent) extmem.Extent {
+	if len(parts) == 1 {
+		parts[0].CopyTo(dst.Prefix(parts[0].Len()))
+		return dst.Prefix(parts[0].Len())
+	}
+	readers := make([]*emio.Reader, len(parts))
+	heads := make([]extmem.Word, len(parts))
+	alive := make([]bool, len(parts))
+	for i, p := range parts {
+		readers[i] = emio.NewReader(p)
+		heads[i], alive[i] = readers[i].Next()
+	}
+	w := emio.NewWriter(dst)
+	for {
+		best := -1
+		for i := range parts {
+			if alive[i] && (best < 0 || heads[i] < heads[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		w.Append(heads[best])
+		heads[best], alive[best] = readers[best].Next()
+	}
+	return w.Written()
+}

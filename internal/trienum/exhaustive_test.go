@@ -1,0 +1,70 @@
+package trienum
+
+import (
+	"testing"
+
+	"repro/internal/extmem"
+	"repro/internal/graph"
+)
+
+// TestExhaustiveTinyGraphs runs every algorithm on every labeled graph
+// with up to five vertices (2^10 = 1024 graphs) against brute force.
+// Exhaustive coverage of this range pins down all corner cases of the
+// recursion, the coloring, and the high-degree handling at once.
+func TestExhaustiveTinyGraphs(t *testing.T) {
+	const n = 5
+	var pairs [][2]uint32
+	for a := uint32(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pairs = append(pairs, [2]uint32{a, b})
+		}
+	}
+	numGraphs := 1 << len(pairs) // 1024
+	cfg := extmem.Config{M: 1 << 8, B: 1 << 4}
+
+	for mask := 0; mask < numGraphs; mask++ {
+		var el graph.EdgeList
+		for i, p := range pairs {
+			if mask&(1<<i) != 0 {
+				el.Add(p[0], p[1])
+			}
+		}
+		// Brute-force count.
+		var want uint64
+		adj := map[uint64]bool{}
+		for _, e := range el.Edges {
+			adj[e] = true
+		}
+		for a := uint32(0); a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if !adj[graph.Pack(a, b)] {
+					continue
+				}
+				for c := b + 1; c < n; c++ {
+					if adj[graph.Pack(a, c)] && adj[graph.Pack(b, c)] {
+						want++
+					}
+				}
+			}
+		}
+		for _, alg := range algorithms {
+			sp := extmem.NewSpace(cfg)
+			g := graph.CanonicalizeList(sp, el)
+			var got uint64
+			seen := map[graph.Triple]bool{}
+			dup := false
+			alg.run(sp, g, func(a, b, c uint32) {
+				got++
+				tr := graph.Triple{V1: a, V2: b, V3: c}
+				if seen[tr] {
+					dup = true
+				}
+				seen[tr] = true
+			})
+			if got != want || dup {
+				t.Fatalf("graph mask %#x (%d edges), %s: got %d triangles (dup=%v), want %d",
+					mask, len(el.Edges), alg.name, got, dup, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package trienum
+
+import (
+	"repro/internal/extmem"
+	"repro/internal/graph"
+)
+
+// HuTaoChung enumerates all triangles with the algorithm of Hu, Tao and
+// Chung (SIGMOD 2013), the strongest previously published baseline: the
+// Lemma 2 kernel applied with pivot set E' = E, using O(E/B + E²/(M·B))
+// I/Os — exactly E/M scans of the edge set. The paper's contribution is
+// beating this by the factor min(sqrt(E/M), sqrt(M)).
+func HuTaoChung(sp *extmem.Space, g graph.Canonical, emit graph.Emit) Info {
+	var info Info
+	emit = countingEmit(&info, emit)
+	if g.Edges.Len() == 0 {
+		return info
+	}
+	kernel(sp, g.Edges, g.Edges, 0, nil, emit)
+	info.Subproblems = 1
+	return info
+}
+
+// Dementiev enumerates all triangles with the sort-based algorithm from
+// Dementiev's thesis: O(sort(E^1.5)) I/Os, no dependence on M beyond
+// sorting. One of the pre-2013 baselines in Section 1.1.
+func Dementiev(sp *extmem.Space, g graph.Canonical, emit graph.Emit) Info {
+	var info Info
+	emit = countingEmit(&info, emit)
+	if g.Edges.Len() == 0 {
+		return info
+	}
+	DementievSortMerge(sp, g.Edges, sortRecordsFunc, nil, emit)
+	return info
+}

@@ -1,0 +1,382 @@
+// Package repro is an I/O-efficient triangle enumeration library: a
+// production-grade reproduction of
+//
+//	Rasmus Pagh and Francesco Silvestri,
+//	"The Input/Output Complexity of Triangle Enumeration", PODS 2014.
+//
+// The library enumerates every triangle of an undirected graph using the
+// paper's I/O-optimal algorithms — O(E^1.5/(sqrt(M)·B)) block transfers on
+// a machine with M words of internal memory and blocks of B words —
+// together with the pre-existing baselines it improves on. The external
+// memory model is simulated with exact I/O accounting (see package
+// internal/extmem), and can optionally be backed by a real file.
+//
+// Quick start:
+//
+//	edges := [][2]uint32{{0, 1}, {1, 2}, {0, 2}}
+//	res, err := repro.Enumerate(edges, repro.Config{}, func(a, b, c uint32) {
+//		fmt.Println(a, b, c)
+//	})
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// reproduction of every complexity claim in the paper.
+package repro
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/extmem"
+	"repro/internal/graph"
+	"repro/internal/trienum"
+)
+
+// Algorithm selects the enumeration algorithm.
+type Algorithm int
+
+const (
+	// CacheAware is the randomized cache-aware algorithm of Section 2:
+	// O(E^1.5/(sqrt(M)·B)) expected I/Os. The default.
+	CacheAware Algorithm = iota
+	// CacheOblivious is the randomized cache-oblivious algorithm of
+	// Section 3: same bound, without using M or B.
+	CacheOblivious
+	// Deterministic is the derandomized cache-aware algorithm of Section
+	// 4: same bound, worst case.
+	Deterministic
+	// HuTaoChung is the SIGMOD 2013 baseline: O(E²/(M·B)) I/Os.
+	HuTaoChung
+	// BlockNestedLoop is the classical join plan: O(E³/(M²·B)) I/Os.
+	BlockNestedLoop
+	// EdgeIterator is the Menegola-style baseline: O(E + E^1.5/B) I/Os.
+	EdgeIterator
+	// SortMerge is Dementiev's sort-based baseline: O(sort(E^1.5)) I/Os.
+	SortMerge
+)
+
+var algorithmNames = map[Algorithm]string{
+	CacheAware:      "cacheaware",
+	CacheOblivious:  "oblivious",
+	Deterministic:   "deterministic",
+	HuTaoChung:      "hutaochung",
+	BlockNestedLoop: "nestedloop",
+	EdgeIterator:    "edgeiterator",
+	SortMerge:       "sortmerge",
+}
+
+// String returns the canonical lower-case name.
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists every available algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{CacheAware, CacheOblivious, Deterministic, HuTaoChung, BlockNestedLoop, EdgeIterator, SortMerge}
+}
+
+// ParseAlgorithm resolves a name produced by Algorithm.String.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, n := range algorithmNames {
+		if n == strings.ToLower(s) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("repro: unknown algorithm %q (have %v)", s, Algorithms())
+}
+
+// Config describes the simulated external-memory machine and the
+// algorithm to run on it.
+type Config struct {
+	// Algorithm defaults to CacheAware.
+	Algorithm Algorithm
+	// MemoryWords is the internal memory size M in 64-bit words
+	// (default 1<<16). Must satisfy the tall-cache assumption
+	// MemoryWords >= BlockWords².
+	MemoryWords int
+	// BlockWords is the block size B in words (default 1<<7, i.e. 1 KiB
+	// blocks). Must be a power of two.
+	BlockWords int
+	// Seed drives the randomized algorithms; runs are deterministic in it.
+	Seed uint64
+	// FamilySize overrides the small-bias family size used by the
+	// Deterministic algorithm (0 = default).
+	FamilySize int
+	// DiskPath, when non-empty, backs the external memory with a real
+	// file at that path instead of process memory.
+	DiskPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryWords == 0 {
+		c.MemoryWords = 1 << 16
+	}
+	if c.BlockWords == 0 {
+		c.BlockWords = 1 << 7
+	}
+	return c
+}
+
+// IOStats reports the block-transfer counts of a run.
+type IOStats struct {
+	// BlockReads and BlockWrites are the I/Os the paper's bounds count.
+	BlockReads  uint64
+	BlockWrites uint64
+	// WordReads and WordWrites measure internal work (free in the model).
+	WordReads  uint64
+	WordWrites uint64
+	// PeakLeaseWords is the high-water mark of internal memory used for
+	// native algorithm state.
+	PeakLeaseWords int
+	// PeakDiskWords is the high-water mark of external memory used.
+	PeakDiskWords int64
+}
+
+// IOs returns BlockReads + BlockWrites.
+func (s IOStats) IOs() uint64 { return s.BlockReads + s.BlockWrites }
+
+// Result summarizes an enumeration run.
+type Result struct {
+	// Triangles is the number of triangles emitted.
+	Triangles uint64
+	// Vertices and Edges describe the graph after deduplication.
+	Vertices int
+	Edges    int64
+	// Stats covers the enumeration proper (canonicalization excluded).
+	Stats IOStats
+	// CanonIOs is the I/O cost of converting the input to the canonical
+	// degree-ordered representation (O(sort(E)), Section 1.3).
+	CanonIOs uint64
+	// Colors, HighDegVertices, Subproblems and X expose algorithm
+	// internals for experiments; see trienum.Info.
+	Colors          int
+	HighDegVertices int
+	Subproblems     int
+	X               uint64
+}
+
+// Enumerate runs the configured algorithm over the given undirected edge
+// list (self-loops and duplicates are ignored) and calls emit exactly once
+// per triangle. Vertices are reported with the input's ids, sorted so that
+// a < b < c. A nil emit counts only.
+func Enumerate(edges [][2]uint32, cfg Config, emit func(a, b, c uint32)) (Result, error) {
+	var res Result
+	cfg = cfg.withDefaults()
+	if cfg.BlockWords <= 0 || cfg.BlockWords&(cfg.BlockWords-1) != 0 {
+		return res, fmt.Errorf("repro: BlockWords must be a positive power of two, got %d", cfg.BlockWords)
+	}
+	if cfg.MemoryWords < cfg.BlockWords*cfg.BlockWords {
+		return res, fmt.Errorf("repro: tall-cache assumption requires MemoryWords >= BlockWords² (%d < %d)",
+			cfg.MemoryWords, cfg.BlockWords*cfg.BlockWords)
+	}
+
+	var sp *extmem.Space
+	emCfg := extmem.Config{M: cfg.MemoryWords, B: cfg.BlockWords}
+	if cfg.DiskPath != "" {
+		var err error
+		sp, err = extmem.NewFileSpace(emCfg, cfg.DiskPath)
+		if err != nil {
+			return res, err
+		}
+		defer sp.Close()
+	} else {
+		sp = extmem.NewSpace(emCfg)
+	}
+
+	var el graph.EdgeList
+	for _, e := range edges {
+		el.Add(e[0], e[1])
+	}
+	g := graph.CanonicalizeList(sp, el)
+	res.Vertices = g.NumVertices
+	res.Edges = g.Edges.Len()
+	res.CanonIOs = sp.Stats().IOs()
+	sp.DropCache()
+	sp.ResetStats()
+
+	wrapped := func(a, b, c uint32) {
+		if emit != nil {
+			t := graph.MakeTriple(g.RankToID[a], g.RankToID[b], g.RankToID[c])
+			emit(t.V1, t.V2, t.V3)
+		}
+	}
+
+	var info trienum.Info
+	switch cfg.Algorithm {
+	case CacheAware:
+		info = trienum.CacheAware(sp, g, cfg.Seed, wrapped)
+	case CacheOblivious:
+		info = trienum.Oblivious(sp, g, cfg.Seed, wrapped)
+	case Deterministic:
+		var err error
+		info, err = trienum.Deterministic(sp, g, cfg.FamilySize, wrapped)
+		if err != nil {
+			return res, err
+		}
+	case HuTaoChung:
+		info = trienum.HuTaoChung(sp, g, wrapped)
+	case BlockNestedLoop:
+		info = baseline.BlockNestedLoop(sp, g, wrapped)
+	case EdgeIterator:
+		info = baseline.EdgeIterator(sp, g, wrapped)
+	case SortMerge:
+		info = trienum.Dementiev(sp, g, wrapped)
+	default:
+		return res, fmt.Errorf("repro: unknown algorithm %v", cfg.Algorithm)
+	}
+	sp.Flush()
+
+	st := sp.Stats()
+	res.Stats = IOStats{
+		BlockReads:     st.BlockReads,
+		BlockWrites:    st.BlockWrites,
+		WordReads:      st.WordReads,
+		WordWrites:     st.WordWrites,
+		PeakLeaseWords: st.PeakLease,
+		PeakDiskWords:  st.PeakAlloc,
+	}
+	res.Triangles = info.Triangles
+	res.Colors = info.Colors
+	res.HighDegVertices = info.HighDegVertices
+	res.Subproblems = info.Subproblems
+	res.X = info.X
+	return res, nil
+}
+
+// Count is Enumerate without an emit callback.
+func Count(edges [][2]uint32, cfg Config) (Result, error) {
+	return Enumerate(edges, cfg, nil)
+}
+
+// Generate builds a workload graph from a spec string such as
+//
+//	clique:n=100
+//	gnm:n=1000,m=8000
+//	powerlaw:n=1000,m=8000,beta=2.3
+//	sells:ns=50,nb=20,nt=20,per=4,avail=0.3
+//	bipartite:n1=100,n2=100,m=2000
+//	grid:r=30,c=40
+//	planted:n=500,m=2000,k=20
+//	rmat:scale=10,m=8000
+//
+// Randomized generators are deterministic in seed.
+func Generate(spec string, seed uint64) ([][2]uint32, error) {
+	kind, params, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	geti := func(key string, def int) int {
+		if v, ok := params[key]; ok {
+			n, _ := strconv.Atoi(v)
+			return n
+		}
+		return def
+	}
+	getf := func(key string, def float64) float64 {
+		if v, ok := params[key]; ok {
+			f, _ := strconv.ParseFloat(v, 64)
+			return f
+		}
+		return def
+	}
+	var el graph.EdgeList
+	switch kind {
+	case "clique":
+		el = graph.Clique(geti("n", 50))
+	case "gnm":
+		el = graph.GNM(geti("n", 1000), geti("m", 4000), seed)
+	case "powerlaw":
+		el = graph.PowerLaw(geti("n", 1000), geti("m", 4000), getf("beta", 2.3), seed)
+	case "sells":
+		el = graph.Sells(geti("ns", 50), geti("nb", 20), geti("nt", 20), geti("per", 4), getf("avail", 0.3), seed)
+	case "bipartite":
+		el = graph.BipartiteRandom(geti("n1", 100), geti("n2", 100), geti("m", 2000), seed)
+	case "grid":
+		el = graph.Grid(geti("r", 30), geti("c", 30))
+	case "planted":
+		el = graph.PlantedClique(geti("n", 500), geti("m", 2000), geti("k", 20), seed)
+	case "rmat":
+		el = graph.RMAT(geti("scale", 10), geti("m", 8000), seed)
+	default:
+		return nil, fmt.Errorf("repro: unknown generator %q", kind)
+	}
+	out := make([][2]uint32, 0, len(el.Edges))
+	for _, e := range el.Edges {
+		out = append(out, [2]uint32{graph.U(e), graph.V(e)})
+	}
+	return out, nil
+}
+
+func parseSpec(spec string) (kind string, params map[string]string, err error) {
+	params = map[string]string{}
+	kind, rest, found := strings.Cut(spec, ":")
+	kind = strings.TrimSpace(strings.ToLower(kind))
+	if kind == "" {
+		return "", nil, fmt.Errorf("repro: empty graph spec")
+	}
+	if !found {
+		return kind, params, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", nil, fmt.Errorf("repro: bad spec parameter %q", kv)
+		}
+		params[strings.TrimSpace(strings.ToLower(k))] = strings.TrimSpace(v)
+	}
+	return kind, params, nil
+}
+
+const edgeFileMagic = uint64(0x5452_4947_5241_5048) // "TRIGRAPH"
+
+// WriteEdgeFile stores an edge list in the library's simple binary format
+// (little-endian: magic, count, then u32 pairs).
+func WriteEdgeFile(w io.Writer, edges [][2]uint32) error {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], edgeFileMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(edges)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(edges))
+	for i, e := range edges {
+		binary.LittleEndian.PutUint32(buf[8*i:], e[0])
+		binary.LittleEndian.PutUint32(buf[8*i+4:], e[1])
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadEdgeFile loads an edge list written by WriteEdgeFile.
+func ReadEdgeFile(r io.Reader) ([][2]uint32, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("repro: short edge file header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != edgeFileMagic {
+		return nil, fmt.Errorf("repro: not an edge file (bad magic)")
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n > 1<<32 {
+		return nil, fmt.Errorf("repro: implausible edge count %d", n)
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("repro: short edge file body: %w", err)
+	}
+	edges := make([][2]uint32, n)
+	for i := range edges {
+		edges[i][0] = binary.LittleEndian.Uint32(buf[8*i:])
+		edges[i][1] = binary.LittleEndian.Uint32(buf[8*i+4:])
+	}
+	return edges, nil
+}

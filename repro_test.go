@@ -1,0 +1,198 @@
+package repro
+
+import (
+	"bytes"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestEnumerateAllAlgorithmsAgree(t *testing.T) {
+	edges, err := Generate("planted:n=120,m=600,k=12", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	var wantSet []graph.Triple
+	{
+		var el graph.EdgeList
+		for _, e := range edges {
+			el.Add(e[0], e[1])
+		}
+		o := graph.NewOracle(el)
+		want = o.Count()
+		wantSet = o.Triples()
+	}
+	for _, alg := range Algorithms() {
+		var got []graph.Triple
+		res, err := Enumerate(edges, Config{Algorithm: alg, MemoryWords: 1 << 12, BlockWords: 1 << 5, Seed: 9},
+			func(a, b, c uint32) { got = append(got, graph.Triple{V1: a, V2: b, V3: c}) })
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Triangles != want {
+			t.Errorf("%v: %d triangles, want %d", alg, res.Triangles, want)
+		}
+		sort.Slice(got, func(i, j int) bool {
+			a, b := got[i], got[j]
+			return a.V1 < b.V1 || (a.V1 == b.V1 && (a.V2 < b.V2 || (a.V2 == b.V2 && a.V3 < b.V3)))
+		})
+		if len(got) != len(wantSet) {
+			t.Fatalf("%v: emitted %d, want %d", alg, len(got), len(wantSet))
+		}
+		for i := range got {
+			if got[i] != wantSet[i] {
+				t.Fatalf("%v: triple %d = %v, want %v", alg, i, got[i], wantSet[i])
+			}
+		}
+		if res.Stats.IOs() == 0 {
+			t.Errorf("%v: zero I/Os reported for out-of-core input", alg)
+		}
+	}
+}
+
+func TestCountOnly(t *testing.T) {
+	edges, _ := Generate("clique:n=30", 0)
+	res, err := Count(edges, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(30 * 29 * 28 / 6); res.Triangles != want {
+		t.Errorf("K30: %d triangles, want %d", res.Triangles, want)
+	}
+	if res.Vertices != 30 || res.Edges != 435 {
+		t.Errorf("V=%d E=%d", res.Vertices, res.Edges)
+	}
+}
+
+func TestEnumerateValidatesConfig(t *testing.T) {
+	edges := [][2]uint32{{0, 1}}
+	if _, err := Enumerate(edges, Config{BlockWords: 100, MemoryWords: 100000}, nil); err == nil {
+		t.Error("non-power-of-two block accepted")
+	}
+	if _, err := Enumerate(edges, Config{BlockWords: 128, MemoryWords: 1000}, nil); err == nil {
+		t.Error("short cache accepted")
+	}
+}
+
+func TestEnumerateIgnoresJunkEdges(t *testing.T) {
+	edges := [][2]uint32{{1, 2}, {2, 1}, {3, 3}, {1, 2}, {2, 3}, {1, 3}}
+	res, err := Count(edges, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != 1 || res.Edges != 3 {
+		t.Errorf("got %d triangles over %d edges, want 1 over 3", res.Triangles, res.Edges)
+	}
+}
+
+func TestFileBackedEnumeration(t *testing.T) {
+	edges, _ := Generate("gnm:n=200,m=2000", 5)
+	mem, err := Count(edges, Config{MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := Count(edges, Config{
+		MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 1,
+		DiskPath: filepath.Join(t.TempDir(), "em.bin"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Triangles != disk.Triangles {
+		t.Errorf("file-backed run found %d triangles, memory-backed %d", disk.Triangles, mem.Triangles)
+	}
+	if mem.Stats.IOs() != disk.Stats.IOs() {
+		t.Errorf("I/O counts differ between backends: %d vs %d", mem.Stats.IOs(), disk.Stats.IOs())
+	}
+}
+
+func TestGenerateSpecs(t *testing.T) {
+	specs := []string{
+		"clique:n=10", "gnm:n=50,m=100", "powerlaw:n=60,m=120,beta=2.5",
+		"sells:ns=10,nb=5,nt=5,per=2,avail=0.5", "bipartite:n1=10,n2=10,m=30",
+		"grid:r=5,c=5", "planted:n=40,m=60,k=6", "rmat:scale=6,m=100",
+	}
+	for _, s := range specs {
+		edges, err := Generate(s, 1)
+		if err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+		if len(edges) == 0 {
+			t.Errorf("%s: empty graph", s)
+		}
+	}
+	if _, err := Generate("nope:n=1", 0); err == nil {
+		t.Error("unknown generator accepted")
+	}
+	if _, err := Generate("", 0); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := Generate("gnm:n", 0); err == nil {
+		t.Error("malformed parameter accepted")
+	}
+}
+
+func TestEdgeFileRoundTrip(t *testing.T) {
+	edges, _ := Generate("gnm:n=100,m=500", 7)
+	var buf bytes.Buffer
+	if err := WriteEdgeFile(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(edges) {
+		t.Fatalf("%d edges back, want %d", len(back), len(edges))
+	}
+	for i := range edges {
+		if back[i] != edges[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+	// Corrupt magic.
+	raw := buf.Bytes()
+	var buf2 bytes.Buffer
+	if err := WriteEdgeFile(&buf2, edges); err != nil {
+		t.Fatal(err)
+	}
+	b2 := buf2.Bytes()
+	b2[0] ^= 0xff
+	if _, err := ReadEdgeFile(bytes.NewReader(b2)); err == nil {
+		t.Error("corrupted magic accepted")
+	}
+	_ = raw
+}
+
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip failed for %v", a)
+		}
+	}
+	if _, err := ParseAlgorithm("quantum"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if s := Algorithm(99).String(); s == "" {
+		t.Error("unknown algorithm has empty name")
+	}
+}
+
+func TestDeterministicSeedsMatch(t *testing.T) {
+	edges, _ := Generate("gnm:n=150,m=1500", 11)
+	a, err := Count(edges, Config{Algorithm: CacheAware, Seed: 123, MemoryWords: 1 << 10, BlockWords: 1 << 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Count(edges, Config{Algorithm: CacheAware, Seed: 123, MemoryWords: 1 << 10, BlockWords: 1 << 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats || a.Triangles != b.Triangles || a.X != b.X {
+		t.Error("identical configs gave different results")
+	}
+}

@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadTextEdges parses a whitespace-separated edge list, the de-facto
+// exchange format of graph repositories (SNAP, DIMACS-like): one "u v"
+// pair per line, with '#' or '%' comment lines ignored. Self-loops are
+// dropped; duplicate edges are kept (Enumerate deduplicates).
+func ReadTextEdges(r io.Reader) ([][2]uint32, error) {
+	var edges [][2]uint32
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("repro: line %d: want two vertex ids, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("repro: line %d: bad vertex id %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("repro: line %d: bad vertex id %q: %v", lineNo, fields[1], err)
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("repro: reading edge list: %w", err)
+	}
+	return edges, nil
+}
+
+// WriteTextEdges writes one "u v" pair per line.
+func WriteTextEdges(w io.Writer, edges [][2]uint32) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

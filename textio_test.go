@@ -1,0 +1,63 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadTextEdges(t *testing.T) {
+	in := `# a SNAP-style comment
+% another comment style
+
+0 1
+1 2  extra-column-ignored
+0	2
+3 3
+`
+	edges, err := ReadTextEdges(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]uint32{{0, 1}, {1, 2}, {0, 2}} // self-loop 3-3 dropped
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(edges), len(want))
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+	res, err := Count(edges, Config{})
+	if err != nil || res.Triangles != 1 {
+		t.Errorf("triangle count %d err %v", res.Triangles, err)
+	}
+}
+
+func TestReadTextEdgesErrors(t *testing.T) {
+	for _, bad := range []string{"1\n", "x y\n", "1 -2\n", "1 99999999999\n"} {
+		if _, err := ReadTextEdges(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestTextEdgesRoundTrip(t *testing.T) {
+	edges, _ := Generate("gnm:n=50,m=200", 3)
+	var buf bytes.Buffer
+	if err := WriteTextEdges(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTextEdges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(edges) {
+		t.Fatalf("%d edges back, want %d", len(back), len(edges))
+	}
+	for i := range edges {
+		if back[i] != edges[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+}
