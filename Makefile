@@ -1,0 +1,34 @@
+# Development entry points; CI (.github/workflows/ci.yml) runs the same
+# targets.
+GO ?= go
+
+.PHONY: all build test race bench lint fmt clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the parallel execution engine and its memory model.
+race:
+	$(GO) test -race ./internal/trienum ./internal/extmem
+
+# One iteration of every benchmark (the CI smoke); use BENCHTIME=5x etc.
+# for real measurements.
+BENCHTIME ?= 1x
+bench:
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' .
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

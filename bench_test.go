@@ -7,6 +7,8 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"testing"
 
 	"repro/internal/emsort"
@@ -261,6 +263,61 @@ func BenchmarkE12ListingOverhead(b *testing.B) {
 		ratio = (float64(lst) - 2*float64(enum)) / (2 * float64(list.Len()) / float64(m.B))
 	}
 	b.ReportMetric(ratio, "extra/(2t/B)")
+}
+
+// BenchmarkE13ParallelWorkers — the worker-pool engine on a large graph:
+// wall-clock scaling with the worker count. The aggregated block-I/O
+// totals are identical at every worker count (reported as a metric so the
+// invariance is visible in the bench output); only wall time changes.
+func BenchmarkE13ParallelWorkers(b *testing.B) {
+	edges, err := Generate("powerlaw:n=12000,m=64000,beta=2.1", 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts(1, 2, 4, runtime.NumCPU()) {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var last Result
+			for i := 0; i < b.N; i++ {
+				res, err := Count(edges, Config{MemoryWords: 1 << 12, BlockWords: 1 << 6, Seed: 3, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Stats.IOs()), "IOs")
+			b.ReportMetric(float64(last.Subproblems), "subproblems")
+		})
+	}
+}
+
+// benchWorkerCounts returns the sorted distinct worker counts to sweep.
+func benchWorkerCounts(counts ...int) []int {
+	slices.Sort(counts)
+	return slices.Compact(counts)
+}
+
+// BenchmarkE14ParallelDeterministic — the same scaling for the
+// derandomized algorithm, whose greedy coloring is a sequential prefix.
+func BenchmarkE14ParallelDeterministic(b *testing.B) {
+	edges, err := Generate("gnm:n=4000,m=24000", 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts(1, runtime.NumCPU()) {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var ios uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Count(edges, Config{
+					Algorithm: Deterministic, MemoryWords: 1 << 11, BlockWords: 1 << 5, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ios = res.Stats.IOs()
+			}
+			b.ReportMetric(float64(ios), "IOs")
+		})
+	}
 }
 
 // BenchmarkEnumeratePublicAPI measures the end-to-end public entry point,

@@ -19,14 +19,16 @@ import (
 
 func main() {
 	var (
-		gen  = flag.String("gen", "", "graph spec, e.g. clique:n=100 or gnm:n=1000,m=8000 (see repro.Generate)")
-		in   = flag.String("in", "", "edge file to load (as written by graphgen)")
-		algo = flag.String("algo", "cacheaware", "algorithm name or 'all'")
-		m    = flag.Int("m", 1<<16, "internal memory size M in words")
-		b    = flag.Int("b", 1<<7, "block size B in words")
-		seed = flag.Uint64("seed", 1, "seed for randomized algorithms and generators")
-		list = flag.Bool("list", false, "print each triangle")
-		disk = flag.String("disk", "", "back external memory with this file instead of RAM")
+		gen     = flag.String("gen", "", "graph spec, e.g. clique:n=100 or gnm:n=1000,m=8000 (see repro.Generate)")
+		in      = flag.String("in", "", "edge file to load (as written by graphgen)")
+		algo    = flag.String("algo", "cacheaware", "algorithm name or 'all'")
+		m       = flag.Int("m", 1<<16, "internal memory size M in words")
+		b       = flag.Int("b", 1<<7, "block size B in words")
+		seed    = flag.Uint64("seed", 1, "seed for randomized algorithms and generators")
+		list    = flag.Bool("list", false, "print each triangle")
+		disk    = flag.String("disk", "", "back external memory with this file instead of RAM")
+		workers = flag.Int("workers", 0, "parallel workers for cacheaware/deterministic (0 = one per CPU)")
+		wstats  = flag.Bool("workerstats", false, "print the per-worker I/O breakdown")
 	)
 	flag.Parse()
 
@@ -53,6 +55,7 @@ func main() {
 			BlockWords:  *b,
 			Seed:        *seed,
 			DiskPath:    *disk,
+			Workers:     *workers,
 		}
 		var emit func(x, y, z uint32)
 		if *list {
@@ -62,9 +65,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-14s V=%-8d E=%-9d triangles=%-10d IOs=%-9d (reads=%d writes=%d) canonIOs=%d peakDisk=%d words\n",
+		fmt.Printf("%-14s V=%-8d E=%-9d triangles=%-10d IOs=%-9d (reads=%d writes=%d) canonIOs=%d peakDisk=%d words workers=%d\n",
 			a, res.Vertices, res.Edges, res.Triangles, res.Stats.IOs(),
-			res.Stats.BlockReads, res.Stats.BlockWrites, res.CanonIOs, res.Stats.PeakDiskWords)
+			res.Stats.BlockReads, res.Stats.BlockWrites, res.CanonIOs, res.Stats.PeakDiskWords, res.Workers)
+		if *wstats {
+			for i, w := range res.WorkerStats {
+				fmt.Printf("  worker %-3d IOs=%-9d (reads=%d writes=%d)\n", i, w.IOs(), w.BlockReads, w.BlockWrites)
+			}
+		}
 	}
 }
 

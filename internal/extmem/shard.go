@@ -1,0 +1,143 @@
+package extmem
+
+import "fmt"
+
+// This file provides the pieces of the parallel execution engine that
+// belong to the memory model: snapshots of external memory and worker
+// shards. A coordinating Space lays out some region (say, the color-sorted
+// edge array), takes a Snapshot of it, and hands the snapshot to N worker
+// shards created with NewShardSpace. Each shard is a full Space — its own
+// block cache of M words, its own Stats, its own scratch allocator — whose
+// external memory begins with the shared read-only region. The model this
+// simulates is P processors with private internal memories of M words over
+// a shared disk (the PEM model of Arge et al.); because every shard is
+// charged its own block transfers against its own M-word cache, per-shard
+// counts are exact and their sum is independent of how tasks are scheduled
+// across shards.
+
+// Snapshot returns the contents of the whole blocks covering ext as a
+// native slice. Dirty cached blocks overlapping the extent are written
+// back first and the write-backs are counted as usual — the sequential
+// algorithm pays the same writes at eviction or Flush time. The extent's
+// base must be block-aligned (any Alloc result is). The snapshot itself is
+// free: it is the external-memory image handed to worker shards, not a
+// transfer into internal memory; shards are charged block reads when they
+// fetch from it.
+func (s *Space) Snapshot(ext Extent) []Word {
+	if ext.sp != s {
+		panic("extmem: Snapshot of an extent from another Space")
+	}
+	if ext.n == 0 {
+		return nil
+	}
+	if ext.base&int64(s.cfg.B-1) != 0 {
+		panic(fmt.Sprintf("extmem: Snapshot extent base %d is not block-aligned", ext.base))
+	}
+	first := ext.base >> s.logB
+	last := (ext.base + ext.n - 1) >> s.logB
+	out := make([]Word, (last-first+1)<<s.logB)
+	for b := first; b <= last; b++ {
+		dst := out[(b-first)<<s.logB : (b-first+1)<<s.logB]
+		if f, ok := s.table[b]; ok {
+			if s.frames[f].dirty {
+				s.writeBack(b, f)
+				s.frames[f].dirty = false
+			}
+			copy(dst, s.data[int64(f)<<s.logB:(int64(f)+1)<<s.logB])
+			continue
+		}
+		if _, virgin := s.virgin[b]; virgin {
+			continue // never materialized: reads as zero
+		}
+		if err := s.backend.ReadBlock(b, dst); err != nil {
+			panic(fmt.Sprintf("extmem: snapshot read block %d: %v", b, err))
+		}
+	}
+	return out
+}
+
+// shardBackend serves the read-only shared region from a snapshot and
+// everything above it from a private in-memory overlay, so worker shards
+// never copy the shared data and cannot corrupt each other.
+type shardBackend struct {
+	shared       []Word
+	sharedBlocks int64
+	priv         *memBackend
+}
+
+func (sb *shardBackend) ReadBlock(b int64, dst []Word) error {
+	if b < sb.sharedBlocks {
+		copy(dst, sb.shared[b*int64(len(dst)):])
+		return nil
+	}
+	return sb.priv.ReadBlock(b-sb.sharedBlocks, dst)
+}
+
+func (sb *shardBackend) WriteBlock(b int64, src []Word) error {
+	if b < sb.sharedBlocks {
+		return fmt.Errorf("extmem: write-back to read-only shared block %d", b)
+	}
+	return sb.priv.WriteBlock(b-sb.sharedBlocks, src)
+}
+
+func (sb *shardBackend) Grow(words int64) error { return nil }
+
+func (sb *shardBackend) Close() error { return nil }
+
+// NewShardSpace creates a worker-private Space whose external memory
+// begins with the given read-only shared region — addresses
+// [0, len(shared)), which must be whole blocks, as returned by Snapshot —
+// and continues with private scratch space served from process memory.
+// The shard has its own cfg.M-word block cache and its own Stats; writing
+// into the shared region is a logic error that panics at write-back time.
+func NewShardSpace(cfg Config, shared []Word) *Space {
+	if cfg.B <= 0 || len(shared)%cfg.B != 0 {
+		panic(fmt.Sprintf("extmem: shared region of %d words is not whole blocks of B=%d", len(shared), cfg.B))
+	}
+	sb := &shardBackend{
+		shared:       shared,
+		sharedBlocks: int64(len(shared) / cfg.B),
+		priv:         newMemBackend(),
+	}
+	sp, err := newSpace(cfg, sb)
+	if err != nil {
+		panic(err)
+	}
+	sp.size = int64(len(shared))
+	return sp
+}
+
+// ExtentAt returns the extent [base, base+n) of already-allocated space.
+// It is the bridge by which worker shards address the shared region laid
+// out by the coordinating Space: the shard sees the snapshot at address 0.
+func (s *Space) ExtentAt(base, n int64) Extent {
+	if base < 0 || n < 0 || base+n > s.size {
+		panic(fmt.Sprintf("extmem: ExtentAt [%d,%d) outside allocated space [0,%d)", base, base+n, s.size))
+	}
+	return Extent{sp: s, base: base, n: n}
+}
+
+// Absorb credits the I/O activity of worker shards to this Space's own
+// counters, so callers that measure a parallel run through a single
+// Space's Stats (rather than aggregating per-worker vectors themselves)
+// still see the full cost.
+func (s *Space) Absorb(st Stats) {
+	s.stats.Add(st)
+}
+
+// Add accumulates o into s: transfer and word counters add, peaks take the
+// maximum (high-water marks of distinct machines do not stack). It is how
+// per-shard stats aggregate into a run total whose counters equal the
+// one-worker run's exactly.
+func (s *Stats) Add(o Stats) {
+	s.BlockReads += o.BlockReads
+	s.BlockWrites += o.BlockWrites
+	s.WordReads += o.WordReads
+	s.WordWrites += o.WordWrites
+	if o.PeakLease > s.PeakLease {
+		s.PeakLease = o.PeakLease
+	}
+	if o.PeakAlloc > s.PeakAlloc {
+		s.PeakAlloc = o.PeakAlloc
+	}
+}

@@ -84,13 +84,8 @@ func CacheAwareWithOptions(sp *extmem.Space, g graph.Canonical, seed uint64, opt
 // parameterizes Lemma 1's sorting.
 func highDegreeStep(sp *extmem.Space, work, scratch extmem.Extent, g graph.Canonical, m float64, sorter graph.SortFunc, filter func(a, b, c uint32) bool, emit graph.Emit, info *Info) int64 {
 	E := work.Len()
-	th := math.Sqrt(float64(E) * m)
 	v := g.NumVertices
-	// Degrees are nondecreasing in rank; walk back from the top.
-	r0 := v
-	for r0 > 0 && float64(g.Degrees.Read(int64(r0-1))) > th {
-		r0--
-	}
+	r0 := highDegreeCut(g, float64(E), m)
 	curLen := E
 	for r := v - 1; r >= r0; r-- {
 		vr := uint32(r)
@@ -110,7 +105,9 @@ func highDegreeStep(sp *extmem.Space, work, scratch extmem.Extent, g graph.Canon
 // solveColored runs steps 2 and 3 shared by the cache-aware randomized and
 // the deterministic algorithms: partition edges by the color pair of their
 // endpoints under colorOf, then solve every color triple with the kernel.
-// edges is clobbered (sorted by color pair).
+// edges is clobbered (sorted by color pair). This is the sequential
+// reference path; solveColoredParallel (parallel.go) dispatches the same
+// triples to a worker pool.
 func solveColored(sp *extmem.Space, edges extmem.Extent, colorOf func(uint32) uint32, c int, info *Info, emit graph.Emit) {
 	E := edges.Len()
 	if E == 0 {
@@ -124,18 +121,74 @@ func solveColored(sp *extmem.Space, edges extmem.Extent, colorOf func(uint32) ui
 		info.Subproblems++
 		return
 	}
-	cc := uint64(c)
-	pairKey := func(e extmem.Word) uint64 {
-		return uint64(colorOf(graph.U(e)))*cc + uint64(colorOf(graph.V(e)))
-	}
-	// The sorters tie-break equal keys by the full word, so each bucket
-	// comes out internally sorted in canonical edge order.
-	emsort.SortRecords(edges, 1, pairKey)
+	sortByColorPair(edges, colorOf, c)
 
 	// Bucket offsets: c² + 1 native words of internal memory — within
 	// budget under the paper's assumption c² = E/M <= M, i.e. M >= sqrt(E).
 	release := leaseAtMost(sp, c*c+1)
 	defer release()
+	off := bucketOffsets(edges, colorOf, c, info)
+
+	mark := sp.Mark()
+	defer sp.Release(mark)
+	union := sp.Alloc(E)
+
+	forEachTriple(off, c, func(t1, t2, t3 int) {
+		solveTriple(sp, edges, off, c, t1, t2, t3, colorOf, union, emit)
+		info.Subproblems++
+	})
+}
+
+// solveTriple solves one color triple (τ1,τ2,τ3): merge the triple's
+// (distinct) buckets into scratch, preserving sort order, and run the
+// kernel with pivot set E_{τ2,τ3}, keeping triangles whose cone vertex
+// has color τ1. Both the sequential loop above and the parallel engine's
+// tasks go through this body — sharing it is what keeps their emission
+// streams identical.
+func solveTriple(sp *extmem.Space, edges extmem.Extent, off []int64, c, t1, t2, t3 int, colorOf func(uint32) uint32, scratch extmem.Extent, emit graph.Emit) {
+	b01 := bucketAt(edges, off, c, t1, t2)
+	b02 := bucketAt(edges, off, c, t1, t3)
+	b12 := bucketAt(edges, off, c, t2, t3)
+	parts := distinctExtents(b01, b02, b12)
+	un := mergeSortedInto(scratch, parts)
+	tau1 := uint32(t1)
+	kernel(sp, un, b12, 0, func(v, _, _ uint32) bool {
+		return colorOf(v) == tau1
+	}, emit)
+}
+
+// highDegreeCut returns the lowest rank r0 whose degree exceeds the
+// sqrt(E·M) threshold of step 1; ranks [r0, NumVertices) form the
+// high-degree set V_h. Degrees are nondecreasing in rank, so the set is a
+// suffix of the rank range, found by walking back from the top.
+func highDegreeCut(g graph.Canonical, e, m float64) int {
+	th := math.Sqrt(e * m)
+	r0 := g.NumVertices
+	for r0 > 0 && float64(g.Degrees.Read(int64(r0-1))) > th {
+		r0--
+	}
+	return r0
+}
+
+// sortByColorPair sorts edges by the (colorOf(u), colorOf(v)) bucket key.
+// The sorters tie-break equal keys by the full word, so each bucket comes
+// out internally sorted in canonical edge order.
+func sortByColorPair(edges extmem.Extent, colorOf func(uint32) uint32, c int) {
+	emsort.SortRecords(edges, 1, colorPairKey(colorOf, c))
+}
+
+func colorPairKey(colorOf func(uint32) uint32, c int) emsort.Key {
+	cc := uint64(c)
+	return func(e extmem.Word) uint64 {
+		return uint64(colorOf(graph.U(e)))*cc + uint64(colorOf(graph.V(e)))
+	}
+}
+
+// bucketOffsets scans the color-sorted edges and returns the c²+1 bucket
+// boundary offsets, accumulating the partition potential X_ξ (pairs of
+// edges sharing a bucket, Lemma 3's random variable) into info.
+func bucketOffsets(edges extmem.Extent, colorOf func(uint32) uint32, c int, info *Info) []int64 {
+	pairKey := colorPairKey(colorOf, c)
 	off := make([]int64, c*c+1)
 	counts := make([]int64, c*c)
 	emio.ForEach(edges, func(_ int64, e extmem.Word) {
@@ -145,40 +198,37 @@ func solveColored(sp *extmem.Space, edges extmem.Extent, colorOf func(uint32) ui
 	for i, n := range counts {
 		off[i] = acc
 		acc += n
-		// X_ξ: pairs of edges sharing a bucket (Lemma 3's random variable).
 		info.X += uint64(n) * uint64(n-1) / 2
 	}
 	off[c*c] = acc
+	return off
+}
 
-	bucket := func(t1, t2 int) extmem.Extent {
+// bucketAt returns the (t1,t2) bucket of the color-sorted edge extent.
+func bucketAt(edges extmem.Extent, off []int64, c, t1, t2 int) extmem.Extent {
+	i := t1*c + t2
+	return edges.Slice(off[i], off[i+1])
+}
+
+// forEachTriple visits the color triples (τ1,τ2,τ3) in the canonical order
+// both execution modes share, skipping triples whose buckets cannot
+// contain a triangle. The order is part of the emission contract: the
+// parallel engine replays completed triples in exactly this sequence.
+func forEachTriple(off []int64, c int, fn func(t1, t2, t3 int)) {
+	empty := func(t1, t2 int) bool {
 		i := t1*c + t2
-		return edges.Slice(off[i], off[i+1])
+		return off[i+1] == off[i]
 	}
-
-	mark := sp.Mark()
-	defer sp.Release(mark)
-	union := sp.Alloc(E)
-
 	for t1 := 0; t1 < c; t1++ {
 		for t2 := 0; t2 < c; t2++ {
-			b01 := bucket(t1, t2)
-			if b01.Len() == 0 {
+			if empty(t1, t2) {
 				continue // no {v1,v2} edges for this (τ1,τ2)
 			}
 			for t3 := 0; t3 < c; t3++ {
-				b02 := bucket(t1, t3)
-				b12 := bucket(t2, t3)
-				if b02.Len() == 0 || b12.Len() == 0 {
+				if empty(t1, t3) || empty(t2, t3) {
 					continue
 				}
-				// Union of the (distinct) buckets, preserving sort order.
-				parts := distinctExtents(b01, b02, b12)
-				un := mergeSortedInto(union, parts)
-				tau1 := uint32(t1)
-				kernel(sp, un, b12, 0, func(v, _, _ uint32) bool {
-					return colorOf(v) == tau1
-				}, emit)
-				info.Subproblems++
+				fn(t1, t2, t3)
 			}
 		}
 	}

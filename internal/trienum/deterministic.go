@@ -42,9 +42,6 @@ func Deterministic(sp *extmem.Space, g graph.Canonical, familySize int, emit gra
 	if E == 0 {
 		return info, nil
 	}
-	if familySize <= 0 {
-		familySize = DefaultFamilySize
-	}
 	cfg := sp.Config()
 	mark := sp.Mark()
 	defer sp.Release(mark)
@@ -57,6 +54,29 @@ func Deterministic(sp *extmem.Space, g graph.Canonical, familySize int, emit gra
 	curLen := highDegreeStep(sp, work, scratch, g, float64(cfg.M), emsort.SortRecords, nil, emit, &info)
 	edges := work.Prefix(curLen)
 
+	colorOf, c, err := buildDeterministicColoring(sp, g, edges, familySize, &info)
+	if err != nil {
+		return info, err
+	}
+	solveColored(sp, edges, colorOf, c, &info, emit)
+	return info, nil
+}
+
+// buildDeterministicColoring runs the greedy derandomization of Section 4
+// over the (low-degree) edge extent and returns the resulting coloring
+// function and color count, recording the per-level potentials in info.
+// It allocates scratch (the endpoint-doubled list) above the caller's
+// mark and leaves it for the caller's release. The returned function is
+// pure and safe for concurrent use; the parallel engine hands it to
+// worker shards unchanged.
+func buildDeterministicColoring(sp *extmem.Space, g graph.Canonical, edges extmem.Extent, familySize int, info *Info) (func(uint32) uint32, int, error) {
+	E := g.Edges.Len()
+	if familySize <= 0 {
+		familySize = DefaultFamilySize
+	}
+	cfg := sp.Config()
+	curLen := edges.Len()
+
 	// Number of colors: the next power of two >= sqrt(E/M).
 	c := 1
 	for c < ceilSqrt(float64(E)/float64(cfg.M)) {
@@ -64,8 +84,7 @@ func Deterministic(sp *extmem.Space, g graph.Canonical, familySize int, emit gra
 	}
 	info.Colors = c
 	if c == 1 {
-		solveColored(sp, edges, func(uint32) uint32 { return 0 }, 1, &info, emit)
-		return info, nil
+		return func(uint32) uint32 { return 0 }, 1, nil
 	}
 	logc := 0
 	for 1<<logc < c {
@@ -183,11 +202,10 @@ func Deterministic(sp *extmem.Space, g graph.Canonical, familySize int, emit gra
 		levelBudget := math.Pow(1+alpha, float64(i)) * budget
 		info.Levels = append(info.Levels, LevelInfo{Candidate: best, Potential: bestPot, Budget: levelBudget})
 		if bestPot > levelBudget {
-			return info, fmt.Errorf("trienum: derandomization invariant (4) violated at level %d: potential %.0f > budget %.0f (family size %d too small)", i, bestPot, levelBudget, t)
+			return nil, c, fmt.Errorf("trienum: derandomization invariant (4) violated at level %d: potential %.0f > budget %.0f (family size %d too small)", i, bestPot, levelBudget, t)
 		}
 		chosen = append(chosen, fam.Seed(best))
 	}
 
-	solveColored(sp, edges, prefixColor, c, &info, emit)
-	return info, nil
+	return prefixColor, c, nil
 }

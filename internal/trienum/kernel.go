@@ -17,6 +17,10 @@ import (
 //
 // filter, if non-nil, can veto an emission (used by the color-coded
 // algorithms to keep each triangle in exactly one subproblem).
+//
+// The kernel touches no state outside sp, so concurrent invocations on
+// distinct Spaces (the worker shards of parallel.go) are safe; filter and
+// emit must then be confined or pure.
 func kernel(sp *extmem.Space, edges, pivots extmem.Extent, memEdges int, filter func(v, u, w uint32) bool, emit graph.Emit) {
 	nPivots := pivots.Len()
 	if nPivots == 0 || edges.Len() == 0 {

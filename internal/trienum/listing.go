@@ -34,6 +34,21 @@ func unpackTriple(w0, w1 extmem.Word) (a, b, c uint32) {
 // Lister runs an enumeration algorithm, materializing its output.
 type Lister func(sp *extmem.Space, g graph.Canonical, seed uint64, emit graph.Emit) Info
 
+// ParallelLister adapts the worker-pool cache-aware engine to the Lister
+// signature, so listing experiments can exercise the parallel path. The
+// engine's emission stream is deterministic in the seed and the graph, so
+// the two passes of ListTriangles agree as required. The workers' I/Os
+// are absorbed into sp, keeping sp.Stats() the full cost of the run.
+func ParallelLister(exec Exec) Lister {
+	return func(sp *extmem.Space, g graph.Canonical, seed uint64, emit graph.Emit) Info {
+		info, workerStats := CacheAwareParallel(sp, g, seed, exec, emit)
+		for _, w := range workerStats {
+			sp.Absorb(w)
+		}
+		return info
+	}
+}
+
 // ListTriangles enumerates with run and writes every triangle to a fresh
 // extent of TripleWords-stride records, returning the extent and the
 // enumeration info (of the writing pass). The write cost Θ(t/B) is

@@ -1,0 +1,343 @@
+package trienum
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/emio"
+	"repro/internal/emsort"
+	"repro/internal/extmem"
+	"repro/internal/graph"
+	"repro/internal/hashing"
+)
+
+// The parallel execution engine. The paper's cache-aware algorithms
+// decompose into independent units — one Lemma 1 pass per high-degree
+// vertex and one Lemma 2 kernel per color triple — that share no mutable
+// state once the coordinator has laid out the (sorted) edge array. The
+// engine freezes that array with extmem.Snapshot, dispatches the units to
+// a pool of workers, each executing on its own extmem shard (a private
+// M-word cache over the shared read-only region), and replays the
+// finished units' triangles in the canonical sequential order.
+//
+// Two properties hold by construction, for any worker count:
+//
+//   - Determinism: every unit runs against the same frozen input from a
+//     cold private cache, so its triangle sequence and its I/O counts do
+//     not depend on scheduling. The merge layer emits units in the fixed
+//     canonical order, so the overall emission stream is byte-identical
+//     across worker counts, and exactly-once.
+//   - Exact accounting: per-worker Stats are summed per shard; because
+//     per-unit counts are scheduling-independent, the aggregate equals the
+//     one-worker engine run exactly.
+//
+// Relative to the sequential reference path (CacheAware, Deterministic),
+// the engine charges each unit a cold start instead of inheriting warm
+// cache state from its predecessor — the accounting the paper's per-
+// subproblem analysis actually performs — so engine totals differ from
+// the reference path's by design, while agreeing with themselves at every
+// worker count.
+
+// Exec configures the parallel execution engine.
+type Exec struct {
+	// Workers is the number of worker goroutines solving subproblems;
+	// values <= 0 select runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (x Exec) workers() int {
+	if x.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return x.Workers
+}
+
+// shardTask is one unit of parallel work: it runs against a worker's
+// shard Space, emitting its triangles (in the unit's canonical order)
+// through the supplied callback.
+type shardTask func(shard *extmem.Space, emit graph.Emit)
+
+const (
+	// emitBatch is the number of triangles per merge handoff.
+	emitBatch = 1024
+	// streamDepth is the number of batches a not-yet-merged task may
+	// buffer before its worker blocks. Together with the dispatch window
+	// this bounds the engine's native memory at
+	// O(workers · streamDepth · emitBatch) triangles regardless of the
+	// output size, preserving the streaming character of the sequential
+	// path on triangle-dense graphs.
+	streamDepth = 8
+)
+
+// runTasks executes tasks on up to `workers` workers, each worker owning
+// one shard Space over the shared snapshot, and emits every task's
+// triangles in task order on the calling goroutine. Between tasks a
+// worker releases its scratch and drops its cache, so each task runs
+// cold, exactly as on a fresh shard. Returns the per-worker stats.
+//
+// Emission is streamed: each in-flight task hands batches to the merge
+// layer over a bounded channel, and tasks are dispatched through a
+// bounded window ahead of the merge cursor, so workers exert
+// backpressure instead of materializing their output.
+func runTasks(cfg extmem.Config, shared []extmem.Word, tasks []shardTask, workers int, emit graph.Emit) []extmem.Stats {
+	if len(tasks) == 0 {
+		return nil
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	streams := make([]chan []graph.Triple, len(tasks))
+	for i := range streams {
+		streams[i] = make(chan []graph.Triple, streamDepth)
+	}
+	jobs := make(chan int)
+	window := make(chan struct{}, 2*workers)
+	// done is closed when the merge layer stops consuming — normally after
+	// the last task, but also if the caller's emit panics — so blocked
+	// workers and the dispatcher always unwind instead of leaking.
+	done := make(chan struct{})
+	stats := make([]extmem.Stats, workers)
+	var wg sync.WaitGroup
+	defer func() {
+		close(done)
+		wg.Wait()
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := extmem.NewShardSpace(cfg, shared)
+			base := shard.Mark()
+			for idx := range jobs {
+				send := func(batch []graph.Triple) bool {
+					select {
+					case streams[idx] <- batch:
+						return true
+					case <-done:
+						return false
+					}
+				}
+				abandoned := false
+				batch := make([]graph.Triple, 0, emitBatch)
+				tasks[idx](shard, func(a, b, c uint32) {
+					if abandoned {
+						return
+					}
+					batch = append(batch, graph.Triple{V1: a, V2: b, V3: c})
+					if len(batch) == emitBatch {
+						// The sent batch is owned by the merge layer now;
+						// start a fresh one.
+						abandoned = !send(batch)
+						batch = make([]graph.Triple, 0, emitBatch)
+					}
+				})
+				if !abandoned && len(batch) > 0 {
+					send(batch)
+				}
+				close(streams[idx])
+				shard.Release(base)
+				shard.DropCache()
+			}
+			stats[w] = shard.Stats()
+		}(w)
+	}
+	go func() {
+		defer close(jobs)
+		for i := range tasks {
+			select {
+			case window <- struct{}{}: // blocks while the merge cursor lags
+			case <-done:
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+	// Merge layer: consume the task streams strictly in task order.
+	for i := range tasks {
+		for batch := range streams[i] {
+			for _, t := range batch {
+				emit(t.V1, t.V2, t.V3)
+			}
+		}
+		<-window
+	}
+	return stats
+}
+
+// CacheAwareParallel is the cache-aware randomized algorithm of Section 2
+// executed by the worker-pool engine: the Lemma 1 high-degree passes and
+// the c³ color-triple kernels run on exec.Workers shards. The triangle
+// stream and the summed I/O stats are identical for every worker count,
+// and deterministic in seed. The second return value is the per-worker
+// I/O breakdown of the parallel phases (the coordinator's own I/Os accrue
+// to sp as usual).
+func CacheAwareParallel(sp *extmem.Space, g graph.Canonical, seed uint64, exec Exec, emit graph.Emit) (Info, []extmem.Stats) {
+	var info Info
+	emit = countingEmit(&info, emit)
+	E := g.Edges.Len()
+	if E == 0 {
+		return info, nil
+	}
+	cfg := sp.Config()
+	workers := exec.workers()
+	mark := sp.Mark()
+	defer sp.Release(mark)
+
+	work := sp.Alloc(E)
+	g.Edges.CopyTo(work)
+
+	curLen, workerStats := highDegreeParallel(sp, work, g, workers, emit, &info)
+
+	c := ceilSqrt(float64(E) / float64(cfg.M))
+	info.Colors = c
+	col := hashing.NewColoring(hashing.NewRand(seed), c)
+	ws := solveColoredParallel(sp, work.Prefix(curLen), col.Color, c, workers, &info, emit)
+	return info, addWorkerStats(workerStats, ws)
+}
+
+// DeterministicParallel is the derandomized algorithm of Section 4 on the
+// worker-pool engine. The greedy coloring construction is inherently
+// sequential and runs on the coordinator; the high-degree passes and the
+// color-triple kernels parallelize as in CacheAwareParallel.
+func DeterministicParallel(sp *extmem.Space, g graph.Canonical, familySize int, exec Exec, emit graph.Emit) (Info, []extmem.Stats, error) {
+	var info Info
+	emit = countingEmit(&info, emit)
+	E := g.Edges.Len()
+	if E == 0 {
+		return info, nil, nil
+	}
+	workers := exec.workers()
+	mark := sp.Mark()
+	defer sp.Release(mark)
+
+	work := sp.Alloc(E)
+	g.Edges.CopyTo(work)
+
+	curLen, workerStats := highDegreeParallel(sp, work, g, workers, emit, &info)
+	edges := work.Prefix(curLen)
+
+	colorOf, c, err := buildDeterministicColoring(sp, g, edges, familySize, &info)
+	if err != nil {
+		return info, workerStats, err
+	}
+	ws := solveColoredParallel(sp, edges, colorOf, c, workers, &info, emit)
+	return info, addWorkerStats(workerStats, ws), nil
+}
+
+// highDegreeParallel runs step 1 — one Lemma 1 pass per vertex of degree
+// greater than sqrt(E·M) — as shard tasks over a frozen snapshot of the
+// full edge set, then compacts the surviving low-degree edges to the
+// prefix of work, returning the new length and the per-worker stats.
+//
+// In the sequential reference path each vertex's edges are removed before
+// the next vertex is processed, which is what makes every triangle land
+// at its highest-ranked high-degree corner. Against the frozen set the
+// same exactly-once guarantee comes from a filter: a triangle {u,w,vr}
+// found at vr is kept only if u, w < vr, i.e. vr is the triangle's
+// highest corner. The per-vertex triangle sets coincide with the
+// reference path's.
+func highDegreeParallel(sp *extmem.Space, work extmem.Extent, g graph.Canonical, workers int, emit graph.Emit, info *Info) (int64, []extmem.Stats) {
+	E := work.Len()
+	cfg := sp.Config()
+	r0 := highDegreeCut(g, float64(E), float64(cfg.M))
+	if r0 >= g.NumVertices {
+		return E, nil
+	}
+	shared := sp.Snapshot(work)
+	var tasks []shardTask
+	for r := g.NumVertices - 1; r >= r0; r-- {
+		vr := uint32(r)
+		tasks = append(tasks, func(shard *extmem.Space, emit graph.Emit) {
+			seg := shard.ExtentAt(0, E)
+			enumerateContaining(shard, seg, vr, emsort.SortRecords, func(u, w uint32) {
+				if w < vr {
+					emit(u, w, vr)
+				}
+			})
+		})
+		info.HighDegVertices++
+	}
+	stats := runTasks(cfg, shared, tasks, workers, emit)
+	return compactBelow(sp, work, uint32(r0)), stats
+}
+
+// compactBelow drops every edge with an endpoint of rank >= r0 (edges are
+// canonical, u < v, so that is exactly V(e) >= r0), compacting survivors
+// to the prefix of work — the same edge set, in the same order, that the
+// reference path reaches by removing each high-degree vertex in turn.
+func compactBelow(sp *extmem.Space, work extmem.Extent, r0 uint32) int64 {
+	mark := sp.Mark()
+	defer sp.Release(mark)
+	scratch := sp.Alloc(work.Len())
+	w := emio.NewWriter(scratch)
+	kept := emio.Filter(w, work, func(e extmem.Word) bool {
+		return graph.V(e) < r0
+	})
+	emio.Copy(work.Prefix(kept), scratch.Prefix(kept))
+	return kept
+}
+
+// solveColoredParallel is solveColored with the color triples dispatched
+// to the worker pool: the coordinator sorts edges into color-pair buckets
+// and freezes them; each triple's bucket union, kernel run, and color
+// filter happen on a worker shard.
+func solveColoredParallel(sp *extmem.Space, edges extmem.Extent, colorOf func(uint32) uint32, c int, workers int, info *Info, emit graph.Emit) []extmem.Stats {
+	E := edges.Len()
+	if E == 0 {
+		return nil
+	}
+	cfg := sp.Config()
+	if c <= 1 {
+		emsort.SortRecords(edges, 1, emsort.Identity)
+		shared := sp.Snapshot(edges)
+		info.Subproblems++
+		task := func(shard *extmem.Space, emit graph.Emit) {
+			seg := shard.ExtentAt(0, E)
+			kernel(shard, seg, seg, 0, nil, emit)
+		}
+		return runTasks(cfg, shared, []shardTask{task}, 1, emit)
+	}
+	sortByColorPair(edges, colorOf, c)
+	release := leaseAtMost(sp, c*c+1)
+	off := bucketOffsets(edges, colorOf, c, info)
+	release()
+	shared := sp.Snapshot(edges)
+
+	var tasks []shardTask
+	forEachTriple(off, c, func(t1, t2, t3 int) {
+		tasks = append(tasks, func(shard *extmem.Space, emit graph.Emit) {
+			// The shard consults the same c²+1-word bucket index the
+			// coordinator built; charge it the same internal memory.
+			release := leaseAtMost(shard, c*c+1)
+			defer release()
+			seg := shard.ExtentAt(0, E)
+			// Scratch for the bucket union; the three named buckets bound
+			// its size even when colors coincide and buckets alias.
+			need := bucketAt(seg, off, c, t1, t2).Len() +
+				bucketAt(seg, off, c, t1, t3).Len() +
+				bucketAt(seg, off, c, t2, t3).Len()
+			solveTriple(shard, seg, off, c, t1, t2, t3, colorOf, shard.Alloc(need), emit)
+		})
+		info.Subproblems++
+	})
+	return runTasks(cfg, shared, tasks, workers, emit)
+}
+
+// addWorkerStats merges two per-worker stat vectors index-wise (phases
+// may engage different worker counts; the result has the longer length).
+func addWorkerStats(a, b []extmem.Stats) []extmem.Stats {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	for i := range b {
+		a[i].Add(b[i])
+	}
+	return a
+}

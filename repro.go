@@ -18,6 +18,19 @@
 //		fmt.Println(a, b, c)
 //	})
 //
+// # Parallel execution
+//
+// The cache-aware algorithms decompose into independent subproblems — the
+// c³ color triples of Section 2 and the per-vertex high-degree passes of
+// Lemma 1 — and Enumerate runs them on a pool of Config.Workers workers
+// (default: one per CPU). Each worker executes subproblems on its own
+// simulated machine, a private M-word cache over a shared read-only edge
+// region, so the I/O accounting stays exact under concurrency: per-worker
+// counts (Result.WorkerStats) sum to the same totals at every worker
+// count, and the triangle stream handed to emit is byte-identical whether
+// Workers is 1 or NumCPU. emit is always invoked from the calling
+// goroutine, never concurrently.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // reproduction of every complexity claim in the paper.
 package repro
@@ -26,6 +39,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -105,6 +119,13 @@ type Config struct {
 	BlockWords int
 	// Seed drives the randomized algorithms; runs are deterministic in it.
 	Seed uint64
+	// Workers is the number of parallel workers solving independent
+	// subproblems for the CacheAware and Deterministic algorithms
+	// (0 = runtime.GOMAXPROCS(0), i.e. one per CPU; the other algorithms
+	// are sequential and ignore it). The triangle stream, the triangle
+	// count, and the aggregated I/O statistics are identical for every
+	// value of Workers — only wall-clock time changes.
+	Workers int
 	// FamilySize overrides the small-bias family size used by the
 	// Deterministic algorithm (0 = default).
 	FamilySize int
@@ -141,6 +162,17 @@ type IOStats struct {
 // IOs returns BlockReads + BlockWrites.
 func (s IOStats) IOs() uint64 { return s.BlockReads + s.BlockWrites }
 
+func toIOStats(st extmem.Stats) IOStats {
+	return IOStats{
+		BlockReads:     st.BlockReads,
+		BlockWrites:    st.BlockWrites,
+		WordReads:      st.WordReads,
+		WordWrites:     st.WordWrites,
+		PeakLeaseWords: st.PeakLease,
+		PeakDiskWords:  st.PeakAlloc,
+	}
+}
+
 // Result summarizes an enumeration run.
 type Result struct {
 	// Triangles is the number of triangles emitted.
@@ -159,6 +191,16 @@ type Result struct {
 	HighDegVertices int
 	Subproblems     int
 	X               uint64
+	// Workers is the resolved worker cap of the run: Config.Workers after
+	// defaulting, or 1 for the sequential algorithms. The engine engages
+	// at most one worker per subproblem, so fewer workers (len of
+	// WorkerStats) may actually run on small inputs.
+	Workers int
+	// WorkerStats breaks the parallel phases down per worker. Which
+	// worker solved which subproblem depends on scheduling, so individual
+	// entries vary run to run; their sum does not, and is already
+	// included in Stats.
+	WorkerStats []IOStats
 }
 
 // Enumerate runs the configured algorithm over the given undirected edge
@@ -207,18 +249,28 @@ func Enumerate(edges [][2]uint32, cfg Config, emit func(a, b, c uint32)) (Result
 		}
 	}
 
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	exec := trienum.Exec{Workers: workers}
+
 	var info trienum.Info
+	var workerStats []extmem.Stats
+	res.Workers = 1
 	switch cfg.Algorithm {
 	case CacheAware:
-		info = trienum.CacheAware(sp, g, cfg.Seed, wrapped)
+		info, workerStats = trienum.CacheAwareParallel(sp, g, cfg.Seed, exec, wrapped)
+		res.Workers = workers
 	case CacheOblivious:
 		info = trienum.Oblivious(sp, g, cfg.Seed, wrapped)
 	case Deterministic:
 		var err error
-		info, err = trienum.Deterministic(sp, g, cfg.FamilySize, wrapped)
+		info, workerStats, err = trienum.DeterministicParallel(sp, g, cfg.FamilySize, exec, wrapped)
 		if err != nil {
 			return res, err
 		}
+		res.Workers = workers
 	case HuTaoChung:
 		info = trienum.HuTaoChung(sp, g, wrapped)
 	case BlockNestedLoop:
@@ -233,14 +285,11 @@ func Enumerate(edges [][2]uint32, cfg Config, emit func(a, b, c uint32)) (Result
 	sp.Flush()
 
 	st := sp.Stats()
-	res.Stats = IOStats{
-		BlockReads:     st.BlockReads,
-		BlockWrites:    st.BlockWrites,
-		WordReads:      st.WordReads,
-		WordWrites:     st.WordWrites,
-		PeakLeaseWords: st.PeakLease,
-		PeakDiskWords:  st.PeakAlloc,
+	for _, w := range workerStats {
+		st.Add(w)
+		res.WorkerStats = append(res.WorkerStats, toIOStats(w))
 	}
+	res.Stats = toIOStats(st)
 	res.Triangles = info.Triangles
 	res.Colors = info.Colors
 	res.HighDegVertices = info.HighDegVertices

@@ -182,6 +182,76 @@ func TestParseAlgorithmRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWorkersDeterminism(t *testing.T) {
+	// The public engine contract: for every algorithm and Workers ∈
+	// {1, 2, 8}, the emission stream is byte-identical and the aggregated
+	// block-I/O totals are equal. Includes a skewed graph so the parallel
+	// high-degree path runs.
+	specs := []string{"powerlaw:n=500,m=4000,beta=2.0", "gnm:n=200,m=2000", "planted:n=150,m=800,k=14"}
+	for _, spec := range specs {
+		edges, err := Generate(spec, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range Algorithms() {
+			run := func(workers int) ([]graph.Triple, Result) {
+				var got []graph.Triple
+				res, err := Enumerate(edges, Config{
+					Algorithm: alg, MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 4, Workers: workers,
+				}, func(a, b, c uint32) { got = append(got, graph.Triple{V1: a, V2: b, V3: c}) })
+				if err != nil {
+					t.Fatalf("%s/%v/workers=%d: %v", spec, alg, workers, err)
+				}
+				return got, res
+			}
+			base, baseRes := run(1)
+			for _, workers := range []int{2, 8} {
+				got, res := run(workers)
+				if len(got) != len(base) {
+					t.Fatalf("%s/%v: workers=%d emitted %d, workers=1 emitted %d", spec, alg, workers, len(got), len(base))
+				}
+				for i := range got {
+					if got[i] != base[i] {
+						t.Fatalf("%s/%v: workers=%d emission %d is %v, workers=1 emitted %v", spec, alg, workers, i, got[i], base[i])
+					}
+				}
+				if res.Stats.BlockReads != baseRes.Stats.BlockReads || res.Stats.BlockWrites != baseRes.Stats.BlockWrites {
+					t.Errorf("%s/%v: workers=%d I/Os (r=%d w=%d) != workers=1 (r=%d w=%d)", spec, alg, workers,
+						res.Stats.BlockReads, res.Stats.BlockWrites, baseRes.Stats.BlockReads, baseRes.Stats.BlockWrites)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkerStatsSumIntoTotals(t *testing.T) {
+	edges, _ := Generate("gnm:n=400,m=4000", 8)
+	seq, err := Count(edges, Config{MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Count(edges, Config{MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Workers != 4 || len(par.WorkerStats) == 0 {
+		t.Fatalf("Workers=%d WorkerStats=%d entries", par.Workers, len(par.WorkerStats))
+	}
+	// Per-worker counts must account for the difference between the run
+	// total and the coordinator's share, i.e. sum consistently: the same
+	// aggregate as the 1-worker run.
+	if par.Stats.IOs() != seq.Stats.IOs() {
+		t.Errorf("aggregate IOs %d (4 workers) != %d (1 worker)", par.Stats.IOs(), seq.Stats.IOs())
+	}
+	var workerIOs uint64
+	for _, w := range par.WorkerStats {
+		workerIOs += w.IOs()
+	}
+	if workerIOs == 0 || workerIOs > par.Stats.IOs() {
+		t.Errorf("worker IOs %d outside (0, total %d]", workerIOs, par.Stats.IOs())
+	}
+}
+
 func TestDeterministicSeedsMatch(t *testing.T) {
 	edges, _ := Generate("gnm:n=150,m=1500", 11)
 	a, err := Count(edges, Config{Algorithm: CacheAware, Seed: 123, MemoryWords: 1 << 10, BlockWords: 1 << 5})
