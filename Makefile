@@ -1,8 +1,12 @@
 # Development entry points; CI (.github/workflows/ci.yml) runs the same
 # targets.
 GO ?= go
+# bash + pipefail so a failing `go test` is not masked by the tee it
+# pipes into (mirrors the CI steps' `set -o pipefail`).
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race bench lint fmt clean
+.PHONY: all build test race bench bench-gated bench-compare lint fmt clean
 
 all: lint build test
 
@@ -12,15 +16,31 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the parallel execution engine and its memory model.
+# Race-detect the parallel execution engine, its memory model, and the
+# parallel sort substrate.
 race:
-	$(GO) test -race ./internal/trienum ./internal/extmem
+	$(GO) test -race ./internal/trienum ./internal/extmem ./internal/emsort
 
-# One iteration of every benchmark (the CI smoke); use BENCHTIME=5x etc.
-# for real measurements.
+# One iteration of every benchmark in every package (the CI smoke); use
+# BENCHTIME=5x etc. for real measurements.
 BENCHTIME ?= 1x
 bench:
-	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' .
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' ./...
+
+# The benchmarks the CI regression gate watches, written to a file that
+# bench-compare can consume as OLD= or NEW=.
+OUT ?= bench-gated.txt
+bench-gated:
+	$(GO) test -bench='E10|E13|E15' -benchtime=$(BENCHTIME) -run='^$$' . | tee $(OUT)
+
+# Gate NEW against OLD on the deterministic block-I/O metric, as CI does:
+#   make bench-gated OUT=old.txt   (on the baseline commit)
+#   make bench-gated OUT=new.txt   (on the candidate)
+#   make bench-compare OLD=old.txt NEW=new.txt
+OLD ?= bench-old.txt
+NEW ?= bench-new.txt
+bench-compare:
+	$(GO) run ./cmd/benchgate -match 'E10|E13|E15' -metric IOs -max-regress 20 $(OLD) $(NEW)
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -320,6 +320,73 @@ func BenchmarkE14ParallelDeterministic(b *testing.B) {
 	}
 }
 
+// BenchmarkE15ParallelSort — the parallel sort(E) substrate standalone:
+// wall-clock scaling of ParallelSortRecords / ParallelFunnelSortRecords
+// with the worker count. The aggregated block-I/O totals are identical at
+// every worker count (reported as a metric so the invariance is visible
+// in the bench output); only wall time changes.
+func BenchmarkE15ParallelSort(b *testing.B) {
+	cfg := extmem.Config{M: 1 << 12, B: 1 << 6}
+	n := int64(1 << 15)
+	variants := []struct {
+		name string
+		fn   func(extmem.Extent, int, emsort.Key, int) []extmem.Stats
+	}{
+		{"multiway", emsort.ParallelSortRecords},
+		{"funnel", emsort.ParallelFunnelSortRecords},
+	}
+	for _, v := range variants {
+		for _, w := range benchWorkerCounts(1, 2, 4, runtime.NumCPU()) {
+			b.Run(fmt.Sprintf("%s/workers=%d", v.name, w), func(b *testing.B) {
+				var ios uint64
+				for i := 0; i < b.N; i++ {
+					sp := extmem.NewSpace(cfg)
+					ext := sp.Alloc(n)
+					rng := hashing.NewRand(uint64(i))
+					for j := int64(0); j < n; j++ {
+						ext.Write(j, rng.Next())
+					}
+					sp.DropCache()
+					sp.ResetStats()
+					ws := v.fn(ext, 1, emsort.Identity, w)
+					sp.Flush()
+					total := sp.Stats()
+					for _, s := range ws {
+						total.Add(s)
+					}
+					ios = total.IOs()
+				}
+				b.ReportMetric(float64(ios), "IOs")
+			})
+		}
+	}
+}
+
+// BenchmarkE16ParallelPipeline — the parallel sorts in-pipeline: the full
+// public entry point (canonicalization + enumeration) under a worker
+// sweep, so the sort(E) terms that PR 2 parallelized are measured where
+// they actually occur. IOs and canonIOs are worker-invariant metrics.
+func BenchmarkE16ParallelPipeline(b *testing.B) {
+	edges, err := Generate("powerlaw:n=12000,m=64000,beta=2.1", 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts(1, 2, 4, runtime.NumCPU()) {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var last Result
+			for i := 0; i < b.N; i++ {
+				res, err := Count(edges, Config{MemoryWords: 1 << 12, BlockWords: 1 << 6, Seed: 7, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Stats.IOs()), "IOs")
+			b.ReportMetric(float64(last.CanonIOs), "canonIOs")
+		})
+	}
+}
+
 // BenchmarkEnumeratePublicAPI measures the end-to-end public entry point,
 // including canonicalization, at a realistic configuration.
 func BenchmarkEnumeratePublicAPI(b *testing.B) {

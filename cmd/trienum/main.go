@@ -6,6 +6,17 @@
 //	trienum -gen clique:n=100 -algo cacheaware -m 65536 -b 128
 //	trienum -in graph.bin -algo oblivious -list
 //	trienum -gen gnm:n=10000,m=80000 -algo all
+//	trienum -gen powerlaw:n=12000,m=64000 -workers 8 -workerstats
+//
+// For the cacheaware and deterministic algorithms, -workers runs the
+// independent subproblems and the sort(E) substrate (canonicalization and
+// color-pair ordering, via the parallel external-memory sorts of
+// internal/emsort) on a worker pool; the triangle stream and aggregated
+// I/O statistics are identical at every worker count, only wall-clock
+// time changes. The scaling is measured by BenchmarkE13ParallelWorkers /
+// BenchmarkE14ParallelDeterministic (engine), BenchmarkE15ParallelSort
+// (sorts standalone) and BenchmarkE16ParallelPipeline (sorts
+// in-pipeline); see `go test -bench='E13|E14|E15|E16'` at the repo root.
 package main
 
 import (
@@ -27,7 +38,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "seed for randomized algorithms and generators")
 		list    = flag.Bool("list", false, "print each triangle")
 		disk    = flag.String("disk", "", "back external memory with this file instead of RAM")
-		workers = flag.Int("workers", 0, "parallel workers for cacheaware/deterministic (0 = one per CPU)")
+		workers = flag.Int("workers", 0, "parallel workers for cacheaware/deterministic subproblems and sorts (0 = one per CPU)")
 		wstats  = flag.Bool("workerstats", false, "print the per-worker I/O breakdown")
 	)
 	flag.Parse()

@@ -33,6 +33,38 @@ func Identity(w extmem.Word) uint64 { return w }
 // mergesort with the Space's configured M and B.
 func Sort(ext extmem.Extent, key Key) { SortRecords(ext, 1, key) }
 
+// sortPlan is the run/merge geometry of the cache-aware multiway
+// mergesort, a pure function of the available internal memory and the
+// record stride. The sequential and parallel sorts compute it from the
+// same inputs, which is what makes the parallel sort's runs — and hence
+// its output bytes — identical to the sequential sort's.
+type sortPlan struct {
+	// runWords is the formation-run length: up to 3/4 of the available
+	// internal memory, rounded to whole records.
+	runWords int64
+	// fanIn is the merge fan-in k, limited by block frames: k input
+	// streams plus one output stream, plus heap state.
+	fanIn int
+}
+
+// planSort computes the multiway sort geometry for a space with avail
+// words of free internal memory. avail must be at least 8*B (callers
+// below that fall back to the oblivious sorter).
+func planSort(cfg extmem.Config, avail, stride int) sortPlan {
+	runWords := int64(avail/4*3) / int64(stride) * int64(stride)
+	if runWords < 2*int64(stride) {
+		runWords = 2 * int64(stride)
+	}
+	k := avail/cfg.B - 2
+	if k < 2 {
+		k = 2
+	}
+	if k > 1<<16 {
+		k = 1 << 16
+	}
+	return sortPlan{runWords: runWords, fanIn: k}
+}
+
 // SortRecords sorts fixed-size records of stride words, ordered by
 // key(record[0]). ext.Len() must be a multiple of stride.
 func SortRecords(ext extmem.Extent, stride int, key Key) {
@@ -52,12 +84,8 @@ func SortRecords(ext extmem.Extent, stride int, key Key) {
 		ObliviousSortRecords(ext, stride, key)
 		return
 	}
-	// Memory budget split: run formation uses up to 3/4 of the available
-	// internal memory, rounded to whole records.
-	runWords := int64(avail/4*3) / int64(stride) * int64(stride)
-	if runWords < 2*int64(stride) {
-		runWords = 2 * int64(stride)
-	}
+	plan := planSort(cfg, avail, stride)
+	runWords := plan.runWords
 	if n <= runWords {
 		loadSortStore(ext, stride, key)
 		return
@@ -69,15 +97,7 @@ func SortRecords(ext extmem.Extent, stride int, key Key) {
 		}
 		loadSortStore(ext.Slice(lo, hi), stride, key)
 	}
-	// Merge passes. Fan-in limited by block frames: k input streams plus
-	// one output stream, plus heap state.
-	k := avail/cfg.B - 2
-	if k < 2 {
-		k = 2
-	}
-	if k > 1<<16 {
-		k = 1 << 16
-	}
+	k := plan.fanIn
 	mark := sp.Mark()
 	scratch := sp.Alloc(n)
 	src, dst := ext, scratch
@@ -108,6 +128,12 @@ func mergePass(src, dst extmem.Extent, runLen int64, k, stride int, key Key) {
 // mergeRuns k-way merges consecutive sorted runs of runLen words in src
 // into dst using a native tournament heap. The heap and cursor state are
 // O(k) words and are leased from internal memory.
+//
+// Ties are broken first by the full first word — the contract every
+// sorter in this package shares (and that the color-pair bucketing in
+// trienum relies on to get buckets in canonical edge order) — and then by
+// run index, so the merge is stable with respect to run order and the
+// multi-pass result equals one big stable merge of all runs.
 func mergeRuns(src, dst extmem.Extent, runLen int64, stride int, key Key) {
 	n := src.Len()
 	if n <= runLen {
@@ -116,61 +142,81 @@ func mergeRuns(src, dst extmem.Extent, runLen int64, stride int, key Key) {
 	}
 	numRuns := int((n + runLen - 1) / runLen)
 	sp := src.Space()
-	release := sp.Lease(numRuns * 3)
+	release := sp.Lease(numRuns * 4)
 	defer release()
 
 	pos := make([]int64, numRuns) // next unread word of each run
 	end := make([]int64, numRuns)
-	type heapEnt struct {
-		k   uint64
-		run int32
-	}
-	h := make([]heapEnt, 0, numRuns)
+	h := make([]mergeEnt, 0, numRuns)
 	for r := 0; r < numRuns; r++ {
 		pos[r] = int64(r) * runLen
 		end[r] = pos[r] + runLen
 		if end[r] > n {
 			end[r] = n
 		}
-		h = append(h, heapEnt{key(src.Read(pos[r])), int32(r)})
+		w := src.Read(pos[r])
+		h = append(h, mergeEnt{key(w), w, int32(r)})
 	}
-	less := func(a, b heapEnt) bool { return a.k < b.k || (a.k == b.k && a.run < b.run) }
-	down := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			m := i
-			if l < len(h) && less(h[l], h[m]) {
-				m = l
-			}
-			if r < len(h) && less(h[r], h[m]) {
-				m = r
-			}
-			if m == i {
-				return
-			}
-			h[i], h[m] = h[m], h[i]
-			i = m
-		}
-	}
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		down(i)
-	}
+	heapifyMerge(h)
 	out := int64(0)
 	for len(h) > 0 {
-		top := h[0]
-		r := int(top.run)
+		r := int(h[0].run)
 		for s := 0; s < stride; s++ {
 			dst.Write(out, src.Read(pos[r]+int64(s)))
 			out++
 		}
 		pos[r] += int64(stride)
 		if pos[r] < end[r] {
-			h[0].k = key(src.Read(pos[r]))
+			w := src.Read(pos[r])
+			h[0].k, h[0].w = key(w), w
 		} else {
 			h[0] = h[len(h)-1]
 			h = h[:len(h)-1]
 		}
-		down(0)
+		downMerge(h, 0)
+	}
+}
+
+// mergeEnt is one tournament-heap entry of a k-way run merge: the key and
+// full first word of a run's head record, plus the run index for stable
+// tie-breaking.
+type mergeEnt struct {
+	k   uint64
+	w   extmem.Word
+	run int32
+}
+
+func mergeLess(a, b mergeEnt) bool {
+	if a.k != b.k {
+		return a.k < b.k
+	}
+	if a.w != b.w {
+		return a.w < b.w
+	}
+	return a.run < b.run
+}
+
+func heapifyMerge(h []mergeEnt) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		downMerge(h, i)
+	}
+}
+
+func downMerge(h []mergeEnt, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && mergeLess(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && mergeLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
 }
 

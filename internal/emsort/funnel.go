@@ -44,7 +44,19 @@ func funnelSortRec(ext extmem.Extent, stride int, key Key) {
 		}
 		return
 	}
-	// Split into k ~ n^(1/3) segments of ~n^(2/3) records each.
+	segs := funnelSplit(ext, stride)
+	for _, seg := range segs {
+		funnelSortRec(seg, stride, key)
+	}
+	funnelMergeSegs(ext, segs, stride, key)
+}
+
+// funnelSplit returns the top-level partition of the funnel recursion:
+// k ~ n^(1/3) segments of ~n^(2/3) records each. The boundaries are a pure
+// function of the extent geometry, so the sequential recursion and the
+// parallel variant (parallel.go) partition identically.
+func funnelSplit(ext extmem.Extent, stride int) []extmem.Extent {
+	nRec := ext.Len() / int64(stride)
 	k := int(math.Ceil(math.Cbrt(float64(nRec))))
 	if k < 2 {
 		k = 2
@@ -56,11 +68,15 @@ func funnelSortRec(ext extmem.Extent, stride int, key Key) {
 		if hi > nRec {
 			hi = nRec
 		}
-		seg := ext.Slice(lo*int64(stride), hi*int64(stride))
-		funnelSortRec(seg, stride, key)
-		segs = append(segs, seg)
+		segs = append(segs, ext.Slice(lo*int64(stride), hi*int64(stride)))
 	}
-	if len(segs) == 1 {
+	return segs
+}
+
+// funnelMergeSegs merges the sorted segments of ext (as produced by
+// funnelSplit + recursive sorting) back into ext with a k-funnel.
+func funnelMergeSegs(ext extmem.Extent, segs []extmem.Extent, stride int, key Key) {
+	if len(segs) <= 1 {
 		return
 	}
 	sp := ext.Space()
@@ -149,12 +165,16 @@ func (v *funnelNode) done() bool {
 	return v.exhausted && v.empty()
 }
 
-// headKey returns the key of the next record. Caller ensures !empty().
-func (v *funnelNode) headKey() uint64 {
+// head returns the key and full first word of the next record — ties on
+// key are broken by the word, the tie-break contract shared by every
+// sorter in this package. Caller ensures !empty().
+func (v *funnelNode) head() (k uint64, w extmem.Word) {
 	if v.leaf {
-		return v.key(v.stream.Read(v.streamPos))
+		w = v.stream.Read(v.streamPos)
+	} else {
+		w = v.out.Read(v.outPosRec * v.stride)
 	}
-	return v.key(v.out.Read(v.outPosRec * v.stride))
+	return v.key(w), w
 }
 
 // pop copies the node's next record into dst starting at word dstOff.
@@ -201,10 +221,14 @@ func (v *funnelNode) refill() {
 			from = r
 		case re:
 			from = l
-		case l.headKey() <= r.headKey():
-			from = l
 		default:
-			from = r
+			lk, lw := l.head()
+			rk, rw := r.head()
+			if lk < rk || (lk == rk && lw <= rw) {
+				from = l
+			} else {
+				from = r
+			}
 		}
 		from.pop(v.out, v.outLenRec*v.stride)
 		v.outLenRec++

@@ -1,0 +1,453 @@
+package emsort
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/extmem"
+)
+
+// The parallel sort(E) substrate. The cache-aware multiway mergesort and
+// the funnel recursion both decompose into independent units — one
+// formation run (resp. one top-level funnel segment) per Θ(M) slice of
+// the input, and one top-level merge per key range of the output — that
+// share no mutable state once the coordinator has frozen the input with
+// extmem.Snapshot. This file dispatches those units to a pool of workers,
+// each executing on its own extmem shard (a private M-word cache over the
+// shared read-only region, the PEM accounting of shard.go), and replays
+// the units' output streams in the fixed unit order on the coordinator.
+//
+// Two properties hold by construction, for every worker count:
+//
+//   - Byte-identity: the parallel sorts emit exactly the bytes of their
+//     sequential counterparts. Formation runs use the geometry of
+//     planSort (resp. funnelSplit), so run contents match; the key-range
+//     merges partition the output at value boundaries with the stable
+//     (key, word, run) comparator of mergeRuns, so the concatenated
+//     chunks equal the sequential stable multi-pass merge.
+//   - Exact accounting: every unit runs against the same frozen input
+//     from a cold private cache, so its I/O counts do not depend on
+//     scheduling; summed per-worker Stats plus the coordinator's equal
+//     the one-worker parallel run exactly. (As with the trienum engine,
+//     parallel totals differ from the *sequential reference sorts* by a
+//     constant factor — units are charged cold starts and the coordinator
+//     re-writes the streamed results — which is the accounting the PEM
+//     model performs.)
+//
+// Inputs whose geometry leaves nothing to parallelize (a single run, too
+// little internal memory, an unaligned extent, or the multi-pass merge
+// regime n > k·runWords) fall back to the sequential sorts. Every
+// fallback predicate is a pure function of the input and the machine
+// configuration — never of the worker count — so the fallbacks cannot
+// break cross-worker-count invariance.
+
+const (
+	// sortBatchWords is the number of words per stream handoff from a
+	// worker to the coordinator's merge layer.
+	sortBatchWords = 1 << 13
+	// sortStreamDepth bounds the batches a not-yet-consumed unit may
+	// buffer before its worker blocks, keeping the engine's native memory
+	// at O(workers · sortStreamDepth · sortBatchWords) words.
+	sortStreamDepth = 4
+)
+
+// wordTask is one unit of parallel sort work: it runs against a worker's
+// shard Space and streams its output words (in the unit's canonical
+// order) through send, which reports false when the engine is unwinding.
+type wordTask func(shard *extmem.Space, send func([]extmem.Word) bool)
+
+// runWordTasks executes tasks on up to `workers` workers, each owning one
+// shard Space over the shared snapshot, and hands every task's output
+// batches to consume in task order on the calling goroutine. Between
+// tasks a worker releases its scratch and drops its cache, so each task
+// runs cold, exactly as on a fresh shard. Returns the per-worker stats.
+func runWordTasks(cfg extmem.Config, shared []extmem.Word, tasks []wordTask, workers int, consume func(task int, batch []extmem.Word)) []extmem.Stats {
+	if len(tasks) == 0 {
+		return nil
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	streams := make([]chan []extmem.Word, len(tasks))
+	for i := range streams {
+		streams[i] = make(chan []extmem.Word, sortStreamDepth)
+	}
+	jobs := make(chan int)
+	window := make(chan struct{}, 2*workers)
+	// done is closed when the merge layer stops consuming — normally
+	// after the last task, but also if consume panics — so blocked
+	// workers and the dispatcher always unwind instead of leaking.
+	done := make(chan struct{})
+	stats := make([]extmem.Stats, workers)
+	var wg sync.WaitGroup
+	defer func() {
+		close(done)
+		wg.Wait()
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := extmem.NewShardSpace(cfg, shared)
+			base := shard.Mark()
+			for idx := range jobs {
+				alive := true
+				tasks[idx](shard, func(batch []extmem.Word) bool {
+					if !alive {
+						return false
+					}
+					select {
+					case streams[idx] <- batch:
+						return true
+					case <-done:
+						alive = false
+						return false
+					}
+				})
+				close(streams[idx])
+				shard.Release(base)
+				shard.DropCache()
+			}
+			stats[w] = shard.Stats()
+		}(w)
+	}
+	go func() {
+		defer close(jobs)
+		for i := range tasks {
+			select {
+			case window <- struct{}{}: // blocks while the merge cursor lags
+			case <-done:
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+	for i := range tasks {
+		for batch := range streams[i] {
+			consume(i, batch)
+		}
+		<-window
+	}
+	return stats
+}
+
+// ParallelSort sorts words with the parallel cache-aware multiway
+// mergesort; see ParallelSortRecords.
+func ParallelSort(ext extmem.Extent, key Key, workers int) []extmem.Stats {
+	return ParallelSortRecords(ext, 1, key, workers)
+}
+
+// ParallelSortRecords sorts fixed-stride records like SortRecords —
+// producing byte-identical output — with run formation and the top-level
+// multiway merge fanned out across worker shards. workers <= 0 selects
+// runtime.GOMAXPROCS(0). The returned per-worker stats are the parallel
+// phases' I/O breakdown (the coordinator's own I/Os accrue to the
+// extent's Space as usual); their aggregate is identical at every worker
+// count.
+func ParallelSortRecords(ext extmem.Extent, stride int, key Key, workers int) []extmem.Stats {
+	n := ext.Len()
+	if n%int64(stride) != 0 {
+		panic("emsort: extent length not a multiple of record stride")
+	}
+	if n <= int64(stride) {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sp := ext.Space()
+	cfg := sp.Config()
+	avail := cfg.M - sp.Leased()
+	if avail < 8*cfg.B {
+		ObliviousSortRecords(ext, stride, key)
+		return nil
+	}
+	plan := planSort(cfg, avail, stride)
+	if n <= plan.runWords {
+		loadSortStore(ext, stride, key)
+		return nil
+	}
+	if ext.Base()&int64(cfg.B-1) != 0 {
+		// Snapshot needs a block-aligned shared region; stay sequential.
+		SortRecords(ext, stride, key)
+		return nil
+	}
+	numRuns := int((n + plan.runWords - 1) / plan.runWords)
+	if numRuns > plan.fanIn {
+		// Multi-pass merge regime: the single-level key-range partition
+		// below would thrash the shard caches; stay sequential.
+		SortRecords(ext, stride, key)
+		return nil
+	}
+	// Sample geometry: one sampled record per block of run data. The
+	// sample index localizes every boundary search to one block; both the
+	// coordinator and each consulting shard lease its footprint.
+	qRec := int64(cfg.B / stride)
+	if qRec < 1 {
+		qRec = 1
+	}
+	st := int64(stride)
+	nRec := n / st
+	runRecs := make([]int64, numRuns)
+	totalSamples := 0
+	for r := range runRecs {
+		lo := int64(r) * (plan.runWords / st)
+		hi := lo + plan.runWords/st
+		if hi > nRec {
+			hi = nRec
+		}
+		runRecs[r] = hi - lo
+		totalSamples += int((runRecs[r] + qRec - 1) / qRec)
+	}
+	if totalSamples > avail-2*cfg.B || totalSamples+4*numRuns > cfg.M-2*cfg.B {
+		SortRecords(ext, stride, key)
+		return nil
+	}
+
+	// Phase 1 — run formation. Freeze the input; each task loads its run
+	// from the shared region, sorts it natively, and streams it back; the
+	// coordinator lays the runs down in a fresh scratch extent and
+	// extracts the per-run sample index on the way through.
+	shared := sp.Snapshot(ext)
+	mark := sp.Mark()
+	defer sp.Release(mark)
+	runsBuf := sp.Alloc(n)
+
+	releaseSamples := sp.Lease(totalSamples)
+	defer releaseSamples()
+	samples := make([][]extmem.Word, numRuns)
+	runTasks := make([]wordTask, numRuns)
+	for r := 0; r < numRuns; r++ {
+		lo := int64(r) * plan.runWords
+		hi := lo + plan.runWords
+		if hi > n {
+			hi = n
+		}
+		runTasks[r] = func(shard *extmem.Space, send func([]extmem.Word) bool) {
+			release := shard.Lease(int(hi - lo))
+			defer release()
+			buf := make([]extmem.Word, hi-lo)
+			shard.ExtentAt(lo, hi-lo).Load(buf)
+			sortNative(buf, stride, key)
+			for o := 0; o < len(buf); o += sortBatchWords {
+				e := o + sortBatchWords
+				if e > len(buf) {
+					e = len(buf)
+				}
+				if !send(buf[o:e:e]) {
+					return
+				}
+			}
+		}
+	}
+	var cur int64
+	ws := runWordTasks(cfg, shared, runTasks, workers, func(task int, batch []extmem.Word) {
+		runLo := int64(task) * plan.runWords
+		for _, w := range batch {
+			off := cur - runLo
+			if off%st == 0 && (off/st)%qRec == 0 {
+				samples[task] = append(samples[task], w)
+			}
+			runsBuf.Write(cur, w)
+			cur++
+		}
+	})
+
+	// Phase 2 — key-range merge. Splitters are drawn from the global
+	// sample multiset; chunk j merges, from every run, the records whose
+	// (key, word) lies in [splitter j-1, splitter j) — located exactly by
+	// a lower-bound probe confined to one sample gap — with the stable
+	// (key, word, run) comparator. Concatenating the chunks in order
+	// therefore reproduces the sequential merge bytes.
+	wordLess := func(a, b extmem.Word) bool {
+		ka, kb := key(a), key(b)
+		return ka < kb || (ka == kb && a < b)
+	}
+	all := make([]extmem.Word, 0, totalSamples)
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return wordLess(all[i], all[j]) })
+	var splitters []extmem.Word
+	for j := 1; j < numRuns; j++ {
+		cand := all[j*len(all)/numRuns]
+		if len(splitters) == 0 || wordLess(splitters[len(splitters)-1], cand) {
+			splitters = append(splitters, cand)
+		}
+	}
+
+	shared2 := sp.Snapshot(runsBuf)
+	chunkTasks := make([]wordTask, len(splitters)+1)
+	for j := range chunkTasks {
+		var sLo, sHi *extmem.Word
+		if j > 0 {
+			sLo = &splitters[j-1]
+		}
+		if j < len(splitters) {
+			sHi = &splitters[j]
+		}
+		chunkTasks[j] = func(shard *extmem.Space, send func([]extmem.Word) bool) {
+			release := shard.Lease(totalSamples + 4*numRuns)
+			defer release()
+			view := shard.ExtentAt(0, n)
+			segs := make([][2]int64, numRuns) // [pos, end) in words
+			for r := 0; r < numRuns; r++ {
+				runLo := int64(r) * plan.runWords
+				lo, hi := int64(0), runRecs[r]
+				if sLo != nil {
+					lo = lowerBoundInRun(view, runLo, runRecs[r], st, qRec, samples[r], wordLess, *sLo)
+				}
+				if sHi != nil {
+					hi = lowerBoundInRun(view, runLo, runRecs[r], st, qRec, samples[r], wordLess, *sHi)
+				}
+				segs[r] = [2]int64{runLo + lo*st, runLo + hi*st}
+			}
+			mergeChunk(view, segs, stride, key, send)
+		}
+	}
+	var out int64
+	ws2 := runWordTasks(cfg, shared2, chunkTasks, workers, func(_ int, batch []extmem.Word) {
+		for _, w := range batch {
+			ext.Write(out, w)
+			out++
+		}
+	})
+	return extmem.AddStatsVec(ws, ws2)
+}
+
+// lowerBoundInRun returns the first record index in [0, runRec) of the
+// run starting at word runLo whose (key, word) is not less than s. The
+// native sample index (one sample per qRec records, record 0 included)
+// confines the probe to a single sample gap of at most one block.
+func lowerBoundInRun(view extmem.Extent, runLo, runRec, stride, qRec int64, samples []extmem.Word, wordLess func(a, b extmem.Word) bool, s extmem.Word) int64 {
+	i := sort.Search(len(samples), func(i int) bool { return !wordLess(samples[i], s) })
+	lo := int64(0)
+	if i > 0 {
+		lo = int64(i-1) * qRec
+	}
+	hi := int64(i) * qRec
+	if hi > runRec {
+		hi = runRec
+	}
+	for rec := lo; rec < hi; rec++ {
+		if !wordLess(view.Read(runLo+rec*stride), s) {
+			return rec
+		}
+	}
+	return hi
+}
+
+// mergeChunk k-way merges the sorted run segments segs (word ranges of
+// view) with the stable (key, word, run) comparator of mergeRuns,
+// streaming the merged records out in batches.
+func mergeChunk(view extmem.Extent, segs [][2]int64, stride int, key Key, send func([]extmem.Word) bool) {
+	h := make([]mergeEnt, 0, len(segs))
+	pos := make([]int64, len(segs))
+	for r, seg := range segs {
+		pos[r] = seg[0]
+		if seg[0] < seg[1] {
+			w := view.Read(seg[0])
+			h = append(h, mergeEnt{key(w), w, int32(r)})
+		}
+	}
+	heapifyMerge(h)
+	batch := make([]extmem.Word, 0, sortBatchWords)
+	for len(h) > 0 {
+		r := int(h[0].run)
+		for s := 0; s < stride; s++ {
+			batch = append(batch, view.Read(pos[r]+int64(s)))
+		}
+		if len(batch) >= sortBatchWords {
+			if !send(batch) {
+				return
+			}
+			batch = make([]extmem.Word, 0, sortBatchWords)
+		}
+		pos[r] += int64(stride)
+		if pos[r] < segs[r][1] {
+			w := view.Read(pos[r])
+			h[0].k, h[0].w = key(w), w
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		downMerge(h, 0)
+	}
+	if len(batch) > 0 {
+		send(batch)
+	}
+}
+
+// ParallelFunnelSort sorts words with the parallel funnelsort; see
+// ParallelFunnelSortRecords.
+func ParallelFunnelSort(ext extmem.Extent, key Key, workers int) []extmem.Stats {
+	return ParallelFunnelSortRecords(ext, 1, key, workers)
+}
+
+// ParallelFunnelSortRecords sorts fixed-stride records like
+// FunnelSortRecords — producing byte-identical output — with the
+// top-level recursion's k ~ n^(1/3) independent segment sorts fanned out
+// across worker shards. Each task funnel-sorts a private copy of its
+// segment (the recursion itself never consults M or B; only the engine
+// around it does) and streams it back; the coordinator then runs the
+// top-level k-funnel merge, which is inherently sequential. workers <= 0
+// selects runtime.GOMAXPROCS(0); the stats contract matches
+// ParallelSortRecords.
+func ParallelFunnelSortRecords(ext extmem.Extent, stride int, key Key, workers int) []extmem.Stats {
+	n := ext.Len()
+	if n%int64(stride) != 0 {
+		panic("emsort: extent length not a multiple of record stride")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sp := ext.Space()
+	cfg := sp.Config()
+	if n/int64(stride) <= funnelBaseRecords || ext.Base()&int64(cfg.B-1) != 0 {
+		FunnelSortRecords(ext, stride, key)
+		return nil
+	}
+	segs := funnelSplit(ext, stride)
+	shared := sp.Snapshot(ext)
+	tasks := make([]wordTask, len(segs))
+	for i, seg := range segs {
+		lo := seg.Base() - ext.Base()
+		segLen := seg.Len()
+		tasks[i] = func(shard *extmem.Space, send func([]extmem.Word) bool) {
+			priv := shard.Alloc(segLen)
+			shard.ExtentAt(lo, segLen).CopyTo(priv)
+			funnelSortRec(priv, stride, key)
+			shard.Flush()
+			buf := make([]extmem.Word, sortBatchWords)
+			for o := int64(0); o < segLen; o += sortBatchWords {
+				e := o + sortBatchWords
+				if e > segLen {
+					e = segLen
+				}
+				b := buf[:e-o]
+				priv.Slice(o, e).Load(b)
+				if !send(b) {
+					return
+				}
+				buf = make([]extmem.Word, sortBatchWords)
+			}
+		}
+	}
+	var cur int64
+	ws := runWordTasks(cfg, shared, tasks, workers, func(_ int, batch []extmem.Word) {
+		for _, w := range batch {
+			ext.Write(cur, w)
+			cur++
+		}
+	})
+	funnelMergeSegs(ext, segs, stride, key)
+	return ws
+}

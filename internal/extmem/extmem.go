@@ -231,6 +231,21 @@ func (s *Space) Lease(n int) (release func()) {
 	}
 }
 
+// LeaseAtMost leases n words of internal memory, or as much as remains if
+// less. Algorithms size their native state from the configured M, but
+// configurations at the edge of the model's memory assumptions (M barely
+// above B²) can leave less than the sized amount; accounting then charges
+// everything that is chargeable rather than refusing to run.
+func (s *Space) LeaseAtMost(n int) (release func()) {
+	if maxLease := s.cfg.M - 2*s.cfg.B - s.leased; n > maxLease {
+		n = maxLease
+	}
+	if n <= 0 {
+		return func() {}
+	}
+	return s.Lease(n)
+}
+
 // Leased reports the currently leased internal memory in words.
 func (s *Space) Leased() int { return s.leased }
 

@@ -125,6 +125,21 @@ func (s *Space) Absorb(st Stats) {
 	s.stats.Add(st)
 }
 
+// AddStatsVec merges two per-worker stat vectors index-wise and returns
+// the result (the longer input, mutated). Phases of a parallel run may
+// engage different worker counts; merging index-wise keeps one entry per
+// worker slot while the vector sum — the quantity the engine contracts to
+// be identical at every worker count — is preserved.
+func AddStatsVec(a, b []Stats) []Stats {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	for i := range b {
+		a[i].Add(b[i])
+	}
+	return a
+}
+
 // Add accumulates o into s: transfer and word counters add, peaks take the
 // maximum (high-water marks of distinct machines do not stack). It is how
 // per-shard stats aggregate into a run total whose counters equal the

@@ -139,7 +139,7 @@ func solveTuple(sp *extmem.Space, edges extmem.Extent, off []int64, c int, color
 
 	// Load the subproblem into internal memory. Expected size O(k²·M);
 	// the lease is charged for whatever it actually is.
-	release := leaseAtMost(sp, int(total)*3)
+	release := sp.LeaseAtMost(int(total)*3)
 	defer release()
 	adj := make(map[uint32][]uint32)
 	for _, r := range ranges {
@@ -199,17 +199,6 @@ func intersectSorted(a, b []uint32, floor uint32) []uint32 {
 		}
 	}
 	return out
-}
-
-func leaseAtMost(sp *extmem.Space, n int) func() {
-	cfg := sp.Config()
-	if maxLease := cfg.M - 2*cfg.B - sp.Leased(); n > maxLease {
-		n = maxLease
-	}
-	if n <= 0 {
-		return func() {}
-	}
-	return sp.Lease(n)
 }
 
 func pow(b, e int) int {

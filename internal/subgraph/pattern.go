@@ -297,7 +297,7 @@ func (p *Pattern) solvePatternTuple(sp *extmem.Space, edges extmem.Extent, off [
 		info.MaxSubproblem = total
 	}
 
-	release := leaseAtMost(sp, int(total)*3)
+	release := sp.LeaseAtMost(int(total)*3)
 	defer release()
 	adj := make(map[uint32][]uint32)
 	addDir := func(a, b uint32) { adj[a] = append(adj[a], b) }

@@ -54,7 +54,7 @@ func Deterministic(sp *extmem.Space, g graph.Canonical, familySize int, emit gra
 	curLen := highDegreeStep(sp, work, scratch, g, float64(cfg.M), emsort.SortRecords, nil, emit, &info)
 	edges := work.Prefix(curLen)
 
-	colorOf, c, err := buildDeterministicColoring(sp, g, edges, familySize, &info)
+	colorOf, c, err := buildDeterministicColoring(sp, g, edges, familySize, emsort.SortRecords, &info)
 	if err != nil {
 		return info, err
 	}
@@ -66,10 +66,13 @@ func Deterministic(sp *extmem.Space, g graph.Canonical, familySize int, emit gra
 // over the (low-degree) edge extent and returns the resulting coloring
 // function and color count, recording the per-level potentials in info.
 // It allocates scratch (the endpoint-doubled list) above the caller's
-// mark and leaves it for the caller's release. The returned function is
-// pure and safe for concurrent use; the parallel engine hands it to
-// worker shards unchanged.
-func buildDeterministicColoring(sp *extmem.Space, g graph.Canonical, edges extmem.Extent, familySize int, info *Info) (func(uint32) uint32, int, error) {
+// mark and leaves it for the caller's release. sorter orders the
+// endpoint-doubled list (the parallel engine passes the parallel emsort
+// adapter; the sort key is injective, so every sorter produces the same
+// bytes and the chosen coloring is sorter-independent). The returned
+// function is pure and safe for concurrent use; the parallel engine
+// hands it to worker shards unchanged.
+func buildDeterministicColoring(sp *extmem.Space, g graph.Canonical, edges extmem.Extent, familySize int, sorter graph.SortFunc, info *Info) (func(uint32) uint32, int, error) {
 	E := g.Edges.Len()
 	if familySize <= 0 {
 		familySize = DefaultFamilySize
@@ -104,7 +107,7 @@ func buildDeterministicColoring(sp *extmem.Space, g graph.Canonical, edges extme
 		doubled.Write(2*i, extmem.Word(u)<<32|extmem.Word(v))
 		doubled.Write(2*i+1, extmem.Word(v)<<32|extmem.Word(u))
 	}
-	emsort.SortRecords(doubled, 1, emsort.Identity)
+	sorter(doubled, 1, emsort.Identity)
 
 	// Greedy bit selection. The per-candidate counter tables below are
 	// derandomization bookkeeping that Theorem 2 assumes fits in internal

@@ -199,7 +199,7 @@ func CacheAwareParallel(sp *extmem.Space, g graph.Canonical, seed uint64, exec E
 	info.Colors = c
 	col := hashing.NewColoring(hashing.NewRand(seed), c)
 	ws := solveColoredParallel(sp, work.Prefix(curLen), col.Color, c, workers, &info, emit)
-	return info, addWorkerStats(workerStats, ws)
+	return info, extmem.AddStatsVec(workerStats, ws)
 }
 
 // DeterministicParallel is the derandomized algorithm of Section 4 on the
@@ -223,12 +223,17 @@ func DeterministicParallel(sp *extmem.Space, g graph.Canonical, familySize int, 
 	curLen, workerStats := highDegreeParallel(sp, work, g, workers, emit, &info)
 	edges := work.Prefix(curLen)
 
-	colorOf, c, err := buildDeterministicColoring(sp, g, edges, familySize, &info)
+	// The greedy bit selection is inherently sequential, but the
+	// endpoint-doubled list it scans is ordered by the parallel sort.
+	sorter := func(ext extmem.Extent, stride int, key emsort.Key) {
+		workerStats = extmem.AddStatsVec(workerStats, emsort.ParallelSortRecords(ext, stride, key, workers))
+	}
+	colorOf, c, err := buildDeterministicColoring(sp, g, edges, familySize, sorter, &info)
 	if err != nil {
 		return info, workerStats, err
 	}
 	ws := solveColoredParallel(sp, edges, colorOf, c, workers, &info, emit)
-	return info, addWorkerStats(workerStats, ws), nil
+	return info, extmem.AddStatsVec(workerStats, ws), nil
 }
 
 // highDegreeParallel runs step 1 — one Lemma 1 pass per vertex of degree
@@ -284,10 +289,11 @@ func compactBelow(sp *extmem.Space, work extmem.Extent, r0 uint32) int64 {
 	return kept
 }
 
-// solveColoredParallel is solveColored with the color triples dispatched
-// to the worker pool: the coordinator sorts edges into color-pair buckets
-// and freezes them; each triple's bucket union, kernel run, and color
-// filter happen on a worker shard.
+// solveColoredParallel is solveColored with both the color-pair sort and
+// the color triples dispatched to the worker pool: the coordinator sorts
+// edges into color-pair buckets with the parallel emsort engine (the
+// sequential Amdahl bottleneck before it) and freezes them; each triple's
+// bucket union, kernel run, and color filter happen on a worker shard.
 func solveColoredParallel(sp *extmem.Space, edges extmem.Extent, colorOf func(uint32) uint32, c int, workers int, info *Info, emit graph.Emit) []extmem.Stats {
 	E := edges.Len()
 	if E == 0 {
@@ -295,17 +301,17 @@ func solveColoredParallel(sp *extmem.Space, edges extmem.Extent, colorOf func(ui
 	}
 	cfg := sp.Config()
 	if c <= 1 {
-		emsort.SortRecords(edges, 1, emsort.Identity)
+		sortWS := emsort.ParallelSortRecords(edges, 1, emsort.Identity, workers)
 		shared := sp.Snapshot(edges)
 		info.Subproblems++
 		task := func(shard *extmem.Space, emit graph.Emit) {
 			seg := shard.ExtentAt(0, E)
 			kernel(shard, seg, seg, 0, nil, emit)
 		}
-		return runTasks(cfg, shared, []shardTask{task}, 1, emit)
+		return extmem.AddStatsVec(sortWS, runTasks(cfg, shared, []shardTask{task}, 1, emit))
 	}
-	sortByColorPair(edges, colorOf, c)
-	release := leaseAtMost(sp, c*c+1)
+	sortWS := emsort.ParallelSortRecords(edges, 1, colorPairKey(colorOf, c), workers)
+	release := sp.LeaseAtMost(c*c+1)
 	off := bucketOffsets(edges, colorOf, c, info)
 	release()
 	shared := sp.Snapshot(edges)
@@ -315,7 +321,7 @@ func solveColoredParallel(sp *extmem.Space, edges extmem.Extent, colorOf func(ui
 		tasks = append(tasks, func(shard *extmem.Space, emit graph.Emit) {
 			// The shard consults the same c²+1-word bucket index the
 			// coordinator built; charge it the same internal memory.
-			release := leaseAtMost(shard, c*c+1)
+			release := shard.LeaseAtMost(c*c+1)
 			defer release()
 			seg := shard.ExtentAt(0, E)
 			// Scratch for the bucket union; the three named buckets bound
@@ -327,17 +333,5 @@ func solveColoredParallel(sp *extmem.Space, edges extmem.Extent, colorOf func(ui
 		})
 		info.Subproblems++
 	})
-	return runTasks(cfg, shared, tasks, workers, emit)
-}
-
-// addWorkerStats merges two per-worker stat vectors index-wise (phases
-// may engage different worker counts; the result has the longer length).
-func addWorkerStats(a, b []extmem.Stats) []extmem.Stats {
-	if len(b) > len(a) {
-		a, b = b, a
-	}
-	for i := range b {
-		a[i].Add(b[i])
-	}
-	return a
+	return extmem.AddStatsVec(sortWS, runTasks(cfg, shared, tasks, workers, emit))
 }

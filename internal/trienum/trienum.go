@@ -159,22 +159,6 @@ func removeIncident(seg, scratch extmem.Extent, v uint32) int64 {
 // sortRecordsFunc adapts emsort.SortRecords to graph.SortFunc.
 var sortRecordsFunc graph.SortFunc = emsort.SortRecords
 
-// leaseAtMost leases n words of internal memory, or as much as remains if
-// less. The algorithms size their native state from the configured M, but
-// experiment configurations at the edge of the paper's memory assumptions
-// (M barely above B²) can leave less than the sized amount; accounting
-// then charges everything that is chargeable rather than refusing to run.
-func leaseAtMost(sp *extmem.Space, n int) func() {
-	cfg := sp.Config()
-	if maxLease := cfg.M - 2*cfg.B - sp.Leased(); n > maxLease {
-		n = maxLease
-	}
-	if n <= 0 {
-		return func() {}
-	}
-	return sp.Lease(n)
-}
-
 // ceilSqrt returns the smallest integer c >= sqrt(x).
 func ceilSqrt(x float64) int {
 	if x <= 1 {

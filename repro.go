@@ -23,13 +23,16 @@
 // The cache-aware algorithms decompose into independent subproblems — the
 // c³ color triples of Section 2 and the per-vertex high-degree passes of
 // Lemma 1 — and Enumerate runs them on a pool of Config.Workers workers
-// (default: one per CPU). Each worker executes subproblems on its own
-// simulated machine, a private M-word cache over a shared read-only edge
-// region, so the I/O accounting stays exact under concurrency: per-worker
-// counts (Result.WorkerStats) sum to the same totals at every worker
-// count, and the triangle stream handed to emit is byte-identical whether
-// Workers is 1 or NumCPU. emit is always invoked from the calling
-// goroutine, never concurrently.
+// (default: one per CPU). The O(sort(E)) substrate underneath them — edge
+// canonicalization and the color-pair ordering — runs on the same pool
+// via the parallel external-memory sorts of internal/emsort, whose output
+// is byte-identical to the sequential sorts. Each worker executes
+// subproblems on its own simulated machine, a private M-word cache over a
+// shared read-only edge region, so the I/O accounting stays exact under
+// concurrency: per-worker counts (Result.WorkerStats) sum to the same
+// totals at every worker count, and the triangle stream handed to emit is
+// byte-identical whether Workers is 1 or NumCPU. emit is always invoked
+// from the calling goroutine, never concurrently.
 //
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // reproduction of every complexity claim in the paper.
@@ -44,6 +47,7 @@ import (
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/emsort"
 	"repro/internal/extmem"
 	"repro/internal/graph"
 	"repro/internal/trienum"
@@ -120,11 +124,13 @@ type Config struct {
 	// Seed drives the randomized algorithms; runs are deterministic in it.
 	Seed uint64
 	// Workers is the number of parallel workers solving independent
-	// subproblems for the CacheAware and Deterministic algorithms
-	// (0 = runtime.GOMAXPROCS(0), i.e. one per CPU; the other algorithms
-	// are sequential and ignore it). The triangle stream, the triangle
-	// count, and the aggregated I/O statistics are identical for every
-	// value of Workers — only wall-clock time changes.
+	// subproblems — and running the parallel external-memory sorts that
+	// canonicalize the input and order the color-pair buckets — for the
+	// CacheAware and Deterministic algorithms (0 = runtime.GOMAXPROCS(0),
+	// i.e. one per CPU; the other algorithms are sequential and ignore
+	// it). The triangle stream, the triangle count, and the aggregated
+	// I/O statistics (including CanonIOs) are identical for every value
+	// of Workers — only wall-clock time changes.
 	Workers int
 	// FamilySize overrides the small-bias family size used by the
 	// Deterministic algorithm (0 = default).
@@ -231,14 +237,38 @@ func Enumerate(edges [][2]uint32, cfg Config, emit func(a, b, c uint32)) (Result
 		sp = extmem.NewSpace(emCfg)
 	}
 
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	exec := trienum.Exec{Workers: workers}
+	parallelAlgo := cfg.Algorithm == CacheAware || cfg.Algorithm == Deterministic
+
 	var el graph.EdgeList
 	for _, e := range edges {
 		el.Add(e[0], e[1])
 	}
-	g := graph.CanonicalizeList(sp, el)
+	var g graph.Canonical
+	var canonWS []extmem.Stats
+	if parallelAlgo {
+		// The O(sort(E)) canonicalization sorts run on the parallel emsort
+		// engine at every worker count (including 1), so CanonIOs is
+		// invariant in Workers; the sort workers' I/Os are part of the
+		// canonicalization cost, not of Stats/WorkerStats.
+		sorter := func(ext extmem.Extent, stride int, key emsort.Key) {
+			canonWS = extmem.AddStatsVec(canonWS, emsort.ParallelSortRecords(ext, stride, key, workers))
+		}
+		g = graph.Canonicalize(sp, el.Write(sp), sorter)
+	} else {
+		g = graph.CanonicalizeList(sp, el)
+	}
 	res.Vertices = g.NumVertices
 	res.Edges = g.Edges.Len()
-	res.CanonIOs = sp.Stats().IOs()
+	canonStats := sp.Stats()
+	for _, w := range canonWS {
+		canonStats.Add(w)
+	}
+	res.CanonIOs = canonStats.IOs()
 	sp.DropCache()
 	sp.ResetStats()
 
@@ -248,12 +278,6 @@ func Enumerate(edges [][2]uint32, cfg Config, emit func(a, b, c uint32)) (Result
 			emit(t.V1, t.V2, t.V3)
 		}
 	}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	exec := trienum.Exec{Workers: workers}
 
 	var info trienum.Info
 	var workerStats []extmem.Stats
