@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race bench bench-gated bench-compare lint fmt clean
+.PHONY: all build test race bench bench-gated bench-compare examples lint fmt clean
 
 all: lint build test
 
@@ -15,6 +15,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Smoke-run every example program (main packages never execute under
+# `go test`); each self-checks and exits non-zero on inconsistencies.
+examples:
+	for d in examples/*/; do echo "=== go run ./$$d"; $(GO) run ./$$d || exit 1; done
 
 # Race-detect the parallel execution engine, its memory model, and the
 # parallel sort substrate.

@@ -170,7 +170,7 @@ func BenchmarkE9KClique(b *testing.B) {
 				g := graph.CanonicalizeList(sp, el)
 				sp.DropCache()
 				sp.ResetStats()
-				info, err := subgraph.KClique(sp, g, 4, uint64(i)+1, func([]uint32) {})
+				info, err := subgraph.KClique(nil, sp, g, 4, uint64(i)+1, func([]uint32) {})
 				if err != nil {
 					b.Fatal(err)
 				}

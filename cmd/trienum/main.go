@@ -1,5 +1,6 @@
-// Command trienum enumerates the triangles of a graph on a simulated
-// external-memory machine and reports I/O statistics.
+// Command trienum enumerates the triangles — or, with -k / -pattern, the
+// k-cliques and pattern embeddings of Section 6 — of a graph on a
+// simulated external-memory machine and reports I/O statistics.
 //
 // Usage:
 //
@@ -7,6 +8,13 @@
 //	trienum -in graph.bin -algo oblivious -list
 //	trienum -gen gnm:n=10000,m=80000 -algo all
 //	trienum -gen powerlaw:n=12000,m=64000 -workers 8 -workerstats
+//	trienum -gen planted:n=5000,m=20000,k=12 -k 4
+//	trienum -gen gnm:n=2000,m=16000 -pattern diamond -timeout 5s
+//
+// The graph is built once (one O(sort(E)) canonicalization, repro.Build)
+// and every requested query runs against the same handle, so `-algo all`
+// and mixed triangle/clique/pattern invocations pay the build exactly
+// once — the canonIOs column repeats the one-time cost.
 //
 // For the cacheaware and deterministic algorithms, -workers runs the
 // independent subproblems and the sort(E) substrate (canonicalization and
@@ -16,14 +24,19 @@
 // time changes. The scaling is measured by BenchmarkE13ParallelWorkers /
 // BenchmarkE14ParallelDeterministic (engine), BenchmarkE15ParallelSort
 // (sorts standalone) and BenchmarkE16ParallelPipeline (sorts
-// in-pipeline); see `go test -bench='E13|E14|E15|E16'` at the repo root.
+// in-pipeline); see EXPERIMENTS.md at the repo root.
+//
+// -timeout arms a context deadline: queries stop cooperatively (between
+// subproblems), report the partial counts, and exit non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 )
@@ -36,17 +49,40 @@ func main() {
 		m       = flag.Int("m", 1<<16, "internal memory size M in words")
 		b       = flag.Int("b", 1<<7, "block size B in words")
 		seed    = flag.Uint64("seed", 1, "seed for randomized algorithms and generators")
-		list    = flag.Bool("list", false, "print each triangle")
+		list    = flag.Bool("list", false, "print each triangle/clique/embedding")
 		disk    = flag.String("disk", "", "back external memory with this file instead of RAM")
 		workers = flag.Int("workers", 0, "parallel workers for cacheaware/deterministic subproblems and sorts (0 = one per CPU)")
 		wstats  = flag.Bool("workerstats", false, "print the per-worker I/O breakdown")
+		kFlag   = flag.Int("k", 0, "also enumerate k-cliques (k >= 3) via the Section 6 extension")
+		pattern = flag.String("pattern", "", "also enumerate a predefined pattern: triangle, path3, cycle4, diamond, k4, star3, house")
+		timeout = flag.Duration("timeout", time.Duration(0), "cancel queries cooperatively after this duration (0 = none)")
 	)
 	flag.Parse()
 
-	edges, err := loadEdges(*gen, *in, *seed)
+	src, err := edgeSource(*gen, *in)
 	if err != nil {
 		fatal(err)
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// One build, many queries: the canonicalization runs exactly once.
+	g, err := repro.Build(src, repro.Options{
+		MemoryWords: *m,
+		BlockWords:  *b,
+		Workers:     *workers,
+		Seed:        *seed,
+		DiskPath:    *disk,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer g.Close()
 
 	algos := []repro.Algorithm{}
 	if *algo == "all" {
@@ -60,21 +96,14 @@ func main() {
 	}
 
 	for _, a := range algos {
-		cfg := repro.Config{
-			Algorithm:   a,
-			MemoryWords: *m,
-			BlockWords:  *b,
-			Seed:        *seed,
-			DiskPath:    *disk,
-			Workers:     *workers,
-		}
+		q := repro.Query{Algorithm: a, Seed: *seed}
 		var emit func(x, y, z uint32)
 		if *list {
 			emit = func(x, y, z uint32) { fmt.Printf("%d %d %d\n", x, y, z) }
 		}
-		res, err := repro.Enumerate(edges, cfg, emit)
+		res, err := g.TrianglesFunc(ctx, q, emit)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("%v after %d triangles: %w", a, res.Matches, err))
 		}
 		fmt.Printf("%-14s V=%-8d E=%-9d triangles=%-10d IOs=%-9d (reads=%d writes=%d) canonIOs=%d peakDisk=%d words workers=%d\n",
 			a, res.Vertices, res.Edges, res.Triangles, res.Stats.IOs(),
@@ -85,24 +114,64 @@ func main() {
 			}
 		}
 	}
+
+	if *kFlag > 0 {
+		emit := listEmit(*list)
+		res, err := g.CliquesFunc(ctx, *kFlag, repro.Query{Seed: *seed}, emit)
+		if err != nil {
+			fatal(fmt.Errorf("k=%d after %d cliques: %w", *kFlag, res.Matches, err))
+		}
+		fmt.Printf("%-14s V=%-8d E=%-9d cliques=%-12d IOs=%-9d (reads=%d writes=%d) canonIOs=%d colors=%d subproblems=%d (largest %d edges)\n",
+			fmt.Sprintf("k=%d-clique", *kFlag), res.Vertices, res.Edges, res.Matches, res.Stats.IOs(),
+			res.Stats.BlockReads, res.Stats.BlockWrites, res.CanonIOs, res.Colors, res.Subproblems, res.MaxSubproblem)
+	}
+
+	if *pattern != "" {
+		p, err := repro.ParsePattern(*pattern)
+		if err != nil {
+			fatal(err)
+		}
+		emit := listEmit(*list)
+		res, err := g.MatchFunc(ctx, p, repro.Query{Seed: *seed}, emit)
+		if err != nil {
+			fatal(fmt.Errorf("pattern %s after %d embeddings: %w", p, res.Matches, err))
+		}
+		fmt.Printf("%-14s V=%-8d E=%-9d copies=%-13d IOs=%-9d (reads=%d writes=%d) canonIOs=%d |Aut|=%d subproblems=%d (largest %d edges)\n",
+			p, res.Vertices, res.Edges, res.Matches, res.Stats.IOs(),
+			res.Stats.BlockReads, res.Stats.BlockWrites, res.CanonIOs, p.Automorphisms(), res.Subproblems, res.MaxSubproblem)
+	}
 }
 
-func loadEdges(gen, in string, seed uint64) ([][2]uint32, error) {
+func listEmit(list bool) func([]uint32) {
+	if !list {
+		return nil
+	}
+	return func(vs []uint32) {
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = fmt.Sprint(v)
+		}
+		fmt.Println(strings.Join(parts, " "))
+	}
+}
+
+func edgeSource(gen, in string) (repro.Source, error) {
 	switch {
 	case gen != "" && in != "":
 		return nil, fmt.Errorf("trienum: -gen and -in are mutually exclusive")
 	case gen != "":
-		return repro.Generate(gen, seed)
+		return repro.FromSpec(gen), nil
 	case in != "":
 		f, err := os.Open(in)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		// The file stays open until Build has consumed it; Build reads
+		// eagerly, so closing on main's exit is fine.
 		if strings.HasSuffix(in, ".txt") || strings.HasSuffix(in, ".edges") {
-			return repro.ReadTextEdges(f)
+			return repro.FromTextReader(f), nil
 		}
-		return repro.ReadEdgeFile(f)
+		return repro.FromReader(f), nil
 	default:
 		return nil, fmt.Errorf("trienum: need -gen or -in (try -gen clique:n=50)")
 	}

@@ -1,0 +1,41 @@
+package repro
+
+// The one-shot compatibility surface. Enumerate and Count predate the
+// Graph handle; they remain supported as thin shims over
+// Build + TrianglesFunc with byte-identical emission and identical
+// Result fields — including the per-algorithm CanonIOs accounting, which
+// the shims reproduce by selecting the historical canonicalization path
+// (parallel sorts for the parallel-capable algorithms, sequential sorts
+// for the rest). One-shot callers pay the canonicalization on every
+// call; callers issuing repeated queries should Build once instead.
+
+// Enumerate runs the configured algorithm over the given undirected edge
+// list (self-loops and duplicates are ignored) and calls emit exactly once
+// per triangle. Vertices are reported with the input's ids, sorted so that
+// a < b < c. A nil emit counts only.
+func Enumerate(edges [][2]uint32, cfg Config, emit func(a, b, c uint32)) (Result, error) {
+	cfg = cfg.withDefaults()
+	parallelAlgo := cfg.Algorithm == CacheAware || cfg.Algorithm == Deterministic
+	g, err := Build(FromEdges(edges), Options{
+		MemoryWords:     cfg.MemoryWords,
+		BlockWords:      cfg.BlockWords,
+		Workers:         cfg.Workers,
+		DiskPath:        cfg.DiskPath,
+		SequentialCanon: !parallelAlgo,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer g.Close()
+	return g.TrianglesFunc(nil, Query{
+		Algorithm:  cfg.Algorithm,
+		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
+		FamilySize: cfg.FamilySize,
+	}, emit)
+}
+
+// Count is Enumerate without an emit callback.
+func Count(edges [][2]uint32, cfg Config) (Result, error) {
+	return Enumerate(edges, cfg, nil)
+}

@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestEnumerateShimEquivalence pins the compatibility contract: Enumerate
+// is byte-identical to Build + TrianglesFunc — same emission sequence and
+// deep-equal Result — for every algorithm at every worker count, with the
+// shim reproducing the historical canonicalization accounting through
+// Options.SequentialCanon.
+func TestEnumerateShimEquivalence(t *testing.T) {
+	edges, err := Generate("powerlaw:n=400,m=3000,beta=2.1", 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms() {
+		for _, workers := range []int{1, 4} {
+			cfg := Config{Algorithm: alg, MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 8, Workers: workers}
+
+			var viaShim []graph.Triple
+			shimRes, err := Enumerate(edges, cfg, func(a, b, c uint32) {
+				viaShim = append(viaShim, graph.Triple{V1: a, V2: b, V3: c})
+			})
+			if err != nil {
+				t.Fatalf("%v/workers=%d: Enumerate: %v", alg, workers, err)
+			}
+
+			parallelAlgo := alg == CacheAware || alg == Deterministic
+			g, err := Build(FromEdges(edges), Options{
+				MemoryWords:     cfg.MemoryWords,
+				BlockWords:      cfg.BlockWords,
+				Workers:         workers,
+				SequentialCanon: !parallelAlgo,
+			})
+			if err != nil {
+				t.Fatalf("%v/workers=%d: Build: %v", alg, workers, err)
+			}
+			var viaQuery []graph.Triple
+			queryRes, err := g.TrianglesFunc(nil, Query{Algorithm: alg, Seed: 8, Workers: workers}, func(a, b, c uint32) {
+				viaQuery = append(viaQuery, graph.Triple{V1: a, V2: b, V3: c})
+			})
+			g.Close()
+			if err != nil {
+				t.Fatalf("%v/workers=%d: TrianglesFunc: %v", alg, workers, err)
+			}
+
+			if len(viaShim) != len(viaQuery) {
+				t.Fatalf("%v/workers=%d: shim emitted %d, query emitted %d", alg, workers, len(viaShim), len(viaQuery))
+			}
+			for i := range viaShim {
+				if viaShim[i] != viaQuery[i] {
+					t.Fatalf("%v/workers=%d: emission %d: shim %v, query %v", alg, workers, i, viaShim[i], viaQuery[i])
+				}
+			}
+			// Individual WorkerStats entries are scheduling-dependent by
+			// documented contract; their sum is not. Compare the Results
+			// with the per-worker vectors reduced to their aggregate.
+			if a, b := sumWorkerStats(shimRes), sumWorkerStats(queryRes); a != b {
+				t.Errorf("%v/workers=%d: summed WorkerStats differ: shim %+v, query %+v", alg, workers, a, b)
+			}
+			shimRes.WorkerStats, queryRes.WorkerStats = nil, nil
+			if !reflect.DeepEqual(shimRes, queryRes) {
+				t.Errorf("%v/workers=%d: Results differ:\nshim:  %+v\nquery: %+v", alg, workers, shimRes, queryRes)
+			}
+		}
+	}
+}
+
+// sumWorkerStats folds the scheduling-dependent per-worker vector into
+// its scheduling-invariant aggregate (transfer and word counters only;
+// peaks are per-shard high-water marks).
+func sumWorkerStats(r Result) IOStats {
+	var sum IOStats
+	for _, w := range r.WorkerStats {
+		sum.BlockReads += w.BlockReads
+		sum.BlockWrites += w.BlockWrites
+		sum.WordReads += w.WordReads
+		sum.WordWrites += w.WordWrites
+	}
+	return sum
+}
+
+// TestCountMatchesEnumerate: the nil-emit path reports the same Result.
+func TestCountMatchesEnumerate(t *testing.T) {
+	edges, _ := Generate("gnm:n=150,m=1200", 3)
+	cfg := Config{MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 5}
+	a, err := Count(edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Enumerate(edges, cfg, func(_, _, _ uint32) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Count %+v differs from Enumerate %+v", a, b)
+	}
+}

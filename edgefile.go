@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const edgeFileMagic = uint64(0x5452_4947_5241_5048) // "TRIGRAPH"
+
+// WriteEdgeFile stores an edge list in the library's simple binary format
+// (little-endian: magic, count, then u32 pairs).
+func WriteEdgeFile(w io.Writer, edges [][2]uint32) error {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], edgeFileMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(edges)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(edges))
+	for i, e := range edges {
+		binary.LittleEndian.PutUint32(buf[8*i:], e[0])
+		binary.LittleEndian.PutUint32(buf[8*i+4:], e[1])
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readChunkEdges bounds the per-read buffer of ReadEdgeFile: 1<<17 edges
+// = 1 MiB. The header's count is untrusted input; memory is committed
+// only as the body actually arrives, one chunk at a time.
+const readChunkEdges = 1 << 17
+
+// ReadEdgeFile loads an edge list written by WriteEdgeFile. The header's
+// edge count is not trusted: the body is read in bounded chunks, so a
+// forged count against a short stream fails after at most one chunk
+// instead of first allocating count*8 bytes (up to 32 GiB) up front.
+func ReadEdgeFile(r io.Reader) ([][2]uint32, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("repro: short edge file header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != edgeFileMagic {
+		return nil, fmt.Errorf("repro: not an edge file (bad magic)")
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n > 1<<32 {
+		return nil, fmt.Errorf("repro: implausible edge count %d", n)
+	}
+	edges := make([][2]uint32, 0, min(n, readChunkEdges))
+	buf := make([]byte, 8*min(n, readChunkEdges))
+	for remaining := n; remaining > 0; {
+		c := min(remaining, readChunkEdges)
+		b := buf[:8*c]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("repro: short edge file body: %d of %d edges missing: %w", remaining, n, err)
+		}
+		for i := uint64(0); i < c; i++ {
+			edges = append(edges, [2]uint32{
+				binary.LittleEndian.Uint32(b[8*i:]),
+				binary.LittleEndian.Uint32(b[8*i+4:]),
+			})
+		}
+		remaining -= c
+	}
+	return edges, nil
+}

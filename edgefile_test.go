@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// edgeFileHeader forges a header claiming n edges.
+func edgeFileHeader(n uint64) []byte {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], edgeFileMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], n)
+	return hdr[:]
+}
+
+// TestReadEdgeFileForgedCount: a header claiming up to 2^32 edges over a
+// short (or empty) body must fail fast without committing memory for the
+// claimed count — the regression test for the 8*n-byte up-front
+// allocation from an attacker-controlled header.
+func TestReadEdgeFileForgedCount(t *testing.T) {
+	for _, n := range []uint64{1, readChunkEdges + 1, 1 << 31, 1 << 32} {
+		if _, err := ReadEdgeFile(bytes.NewReader(edgeFileHeader(n))); err == nil {
+			t.Errorf("count=%d over empty body accepted", n)
+		} else if !strings.Contains(err.Error(), "short edge file body") {
+			t.Errorf("count=%d: unexpected error %v", n, err)
+		}
+	}
+	// A body shorter than one chunk fails on the first chunk read.
+	in := append(edgeFileHeader(1<<31), make([]byte, 8*100)...)
+	if _, err := ReadEdgeFile(bytes.NewReader(in)); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Over the plausibility bound.
+	if _, err := ReadEdgeFile(bytes.NewReader(edgeFileHeader(1<<32 + 1))); err == nil {
+		t.Error("implausible count accepted")
+	} else if !strings.Contains(err.Error(), "implausible") {
+		t.Error("wrong error for implausible count")
+	}
+}
+
+// TestReadEdgeFileChunkBoundaries: round trips across the chunked-read
+// boundaries (empty, one chunk exactly, one chunk plus one).
+func TestReadEdgeFileChunkBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, readChunkEdges, readChunkEdges + 1} {
+		edges := make([][2]uint32, n)
+		for i := range edges {
+			edges[i] = [2]uint32{uint32(i), uint32(i + 1)}
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeFile(&buf, edges); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeFile(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(back) != n {
+			t.Fatalf("n=%d: got %d edges back", n, len(back))
+		}
+		for i := range back {
+			if back[i] != edges[i] {
+				t.Fatalf("n=%d: edge %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+// FuzzReadEdgeFile: arbitrary input must never panic or over-allocate,
+// and every successfully parsed file must re-serialize to an equivalent
+// edge list.
+func FuzzReadEdgeFile(f *testing.F) {
+	good := func(edges [][2]uint32) []byte {
+		var buf bytes.Buffer
+		WriteEdgeFile(&buf, edges)
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(edgeFileHeader(1 << 31))
+	f.Add(good(nil))
+	f.Add(good([][2]uint32{{1, 2}, {3, 4}}))
+	f.Add(good([][2]uint32{{0, 0}})[:17])
+	f.Fuzz(func(t *testing.T, in []byte) {
+		edges, err := ReadEdgeFile(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Parsed OK: the write-read round trip must be exact.
+		var buf bytes.Buffer
+		if err := WriteEdgeFile(&buf, edges); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeFile(&buf)
+		if err != nil {
+			t.Fatalf("round trip of valid parse failed: %v", err)
+		}
+		if len(back) != len(edges) {
+			t.Fatalf("round trip length %d != %d", len(back), len(edges))
+		}
+		for i := range back {
+			if back[i] != edges[i] {
+				t.Fatalf("round trip edge %d mismatch", i)
+			}
+		}
+	})
+}

@@ -1,42 +1,51 @@
-// kclique demonstrates the Section 6 extension: enumerating k-cliques
-// (k > 3) with the same color-coding decomposition, in
-// O(E^(k/2)/(M^(k/2−1)·B)) expected I/Os. It hunts for the 4-clique and
-// 5-clique communities planted inside a sparse random background graph.
+// kclique demonstrates the Section 6 extension through the public query
+// API: enumerating k-cliques (k > 3) with the same color-coding
+// decomposition, in O(E^(k/2)/(M^(k/2−1)·B)) expected I/Os, and
+// arbitrary connected patterns à la Silvestri 2014. It hunts for the
+// clique community planted inside a sparse random background graph.
+//
+// The graph is built once — one O(sort(E)) canonicalization — and every
+// query (three clique sizes, four patterns) runs against the same
+// repro.Graph handle.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/extmem"
-	"repro/internal/graph"
-	"repro/internal/subgraph"
+	"repro"
 )
 
 func main() {
 	// A sparse network with a hidden tightly-knit community of 12.
-	el := graph.PlantedClique(5000, 20000, 12, 99)
-	sp := extmem.NewSpace(extmem.Config{M: 1 << 12, B: 1 << 6})
-	g := graph.CanonicalizeList(sp, el)
-	fmt.Printf("graph: V=%d E=%d, memory holds %.0f%% of the edges\n\n",
-		g.NumVertices, g.Edges.Len(), 100*float64(1<<12)/float64(g.Edges.Len()))
+	g, err := repro.Build(repro.FromSpec("planted:n=5000,m=20000,k=12"), repro.Options{
+		MemoryWords: 1 << 12,
+		BlockWords:  1 << 6,
+		Seed:        99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	fmt.Printf("graph: V=%d E=%d, memory holds %.0f%% of the edges (canonicalized once: %d I/Os)\n\n",
+		g.NumVertices(), g.NumEdges(), 100*float64(1<<12)/float64(g.NumEdges()), g.CanonIOs())
 
+	ctx := context.Background()
 	for _, k := range []int{3, 4, 5} {
-		sp.DropCache()
-		sp.ResetStats()
 		// Collect which vertices appear in k-cliques: members of the
 		// planted community dominate for k >= 4.
 		members := map[uint32]int{}
-		info, err := subgraph.KClique(sp, g, k, 7, func(vs []uint32) {
+		res, err := g.CliquesFunc(ctx, k, repro.Query{Seed: 7}, func(vs []uint32) {
 			for _, v := range vs {
-				members[g.RankToID[v]]++
+				members[v]++
 			}
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("k=%d: %10d cliques, %7d I/Os, %d colors, %d subproblems (largest %d edges)\n",
-			k, info.Cliques, sp.Stats().IOs(), info.Colors, info.Subproblems, info.MaxSubproblem)
+			k, res.Matches, res.Stats.IOs(), res.Colors, res.Subproblems, res.MaxSubproblem)
 		if k == 5 {
 			fmt.Printf("\nvertices in 5-cliques (the planted community surfaces):\n  ")
 			n := 0
@@ -54,14 +63,12 @@ func main() {
 	// The same decomposition enumerates any constant-size connected
 	// pattern in the Alon class, not just cliques.
 	fmt.Println("\narbitrary patterns (Section 6, general form):")
-	for _, p := range []*subgraph.Pattern{subgraph.Path3, subgraph.Cycle4, subgraph.Diamond, subgraph.Star3} {
-		sp.DropCache()
-		sp.ResetStats()
-		info, err := p.Enumerate(sp, g, 7, func([]uint32) {})
+	for _, p := range []*repro.Pattern{repro.PatternPath3, repro.PatternCycle4, repro.PatternDiamond, repro.PatternStar3} {
+		res, err := g.MatchFunc(ctx, p, repro.Query{Seed: 7}, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-8s (|Aut|=%2d): %12d copies, %7d I/Os\n",
-			p.Name(), p.Automorphisms(), info.Cliques, sp.Stats().IOs())
+			p.Name(), p.Automorphisms(), res.Matches, res.Stats.IOs())
 	}
 }

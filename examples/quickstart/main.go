@@ -1,8 +1,10 @@
-// Quickstart: enumerate the triangles of a small graph with the default
-// (cache-aware, Section 2) algorithm and print them with I/O statistics.
+// Quickstart: build a reusable graph handle, stream its triangles with
+// the range-over-func iterator, then run an out-of-core count — two
+// queries, one canonicalization.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,23 +18,25 @@ func main() {
 		{2, 3}, {3, 4}, {2, 4},
 	}
 
-	res, err := repro.Enumerate(edges, repro.Config{}, func(a, b, c uint32) {
-		fmt.Printf("triangle {%d, %d, %d}\n", a, b, c)
-	})
+	g, err := repro.Build(repro.FromEdges(edges), repro.Options{})
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer g.Close()
+
+	var res repro.Result
+	for t, err := range g.Triangles(context.Background(), repro.Query{Result: &res}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("triangle {%d, %d, %d}\n", t.A, t.B, t.C)
 	}
 	fmt.Printf("\n%d triangles over %d edges, %d block I/Os (M=%d words, B=%d words)\n",
 		res.Triangles, res.Edges, res.Stats.IOs(), 1<<16, 1<<7)
 
 	// The same library scales to graphs far larger than memory. Simulate
 	// a machine whose memory holds only 1/16 of the edges:
-	big, err := repro.Generate("gnm:n=20000,m=131072", 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err = repro.Count(big, repro.Config{
-		Algorithm:   repro.CacheAware,
+	big, err := repro.Build(repro.FromSpec("gnm:n=20000,m=131072"), repro.Options{
 		MemoryWords: 1 << 13,
 		BlockWords:  1 << 6,
 		Seed:        42,
@@ -40,6 +44,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer big.Close()
+	bigRes, err := big.TrianglesFunc(context.Background(), repro.Query{Algorithm: repro.CacheAware, Seed: 42}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nout-of-core run: E=%d (16x memory), %d triangles, %d I/Os, %d color classes\n",
-		res.Edges, res.Triangles, res.Stats.IOs(), res.Colors*res.Colors)
+		bigRes.Edges, bigRes.Triangles, bigRes.Stats.IOs(), bigRes.Colors*bigRes.Colors)
+
+	// One-shot compatibility shim, equivalent to Build + TrianglesFunc:
+	one, err := repro.Count(edges, repro.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one-shot Count agrees: %d triangles\n", one.Triangles)
 }

@@ -1,33 +1,34 @@
-// salesdb reproduces the database example from the paper's introduction:
-// a Sells(salesperson, brand, productType) relation in 5th normal form is
-// stored as three binary projections; reconstructing it is a three-way
-// join, which is exactly triangle enumeration on the union of the three
-// bipartite graphs. Every triangle found is one row of Sells.
+// salesdb reproduces the database example from the paper's introduction
+// through the public join API: a Sells(salesperson, brand, productType)
+// relation in 5th normal form is stored as three binary projections;
+// reconstructing it is a three-way join, which is exactly triangle
+// enumeration on the union of the three bipartite graphs. Every triangle
+// found is one row of Sells.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/join"
+	"repro"
 )
 
 func main() {
 	// The projections of a small product catalog. Salespeople carry brand
 	// portfolios and product-type specialties; a (brand, type) pair in BT
 	// means that product exists.
-	dec := join.Decomposition{
-		SB: []join.Pair{
+	dec := repro.JoinDecomposition{
+		SB: []repro.JoinPair{
 			{A: "ann", B: "acme"}, {A: "ann", B: "bolt"},
 			{A: "bob", B: "bolt"}, {A: "bob", B: "cord"},
 			{A: "eve", B: "acme"}, {A: "eve", B: "cord"},
 		},
-		BT: []join.Pair{
+		BT: []repro.JoinPair{
 			{A: "acme", B: "vacuum"}, {A: "acme", B: "toaster"},
 			{A: "bolt", B: "vacuum"}, {A: "bolt", B: "kettle"},
 			{A: "cord", B: "kettle"}, {A: "cord", B: "toaster"},
 		},
-		ST: []join.Pair{
+		ST: []repro.JoinPair{
 			{A: "ann", B: "vacuum"}, {A: "ann", B: "kettle"},
 			{A: "bob", B: "vacuum"}, {A: "bob", B: "kettle"},
 			{A: "eve", B: "toaster"}, {A: "eve", B: "kettle"},
@@ -37,23 +38,23 @@ func main() {
 	fmt.Println("SELECT * FROM SB NATURAL JOIN BT NATURAL JOIN ST;")
 	fmt.Println()
 	fmt.Printf("%-12s %-8s %s\n", "salesperson", "brand", "productType")
-	stats, err := dec.Join(join.Options{Algorithm: join.CacheOblivious, Seed: 7}, func(r join.Row) {
+	stats, err := dec.Join(repro.JoinOptions{Algorithm: repro.CacheOblivious, Seed: 7}, func(r repro.JoinRow) {
 		fmt.Printf("%-12s %-8s %s\n", r.Salesperson, r.Brand, r.ProductType)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n%d rows reconstructed with %d block I/Os (%d reads, %d writes)\n",
-		stats.Rows, stats.IOs, stats.BlockReads, stats.BlockWrite)
+		stats.Rows, stats.IOs, stats.BlockReads, stats.BlockWrites)
 
 	// Round-trip property: decomposing the join's output projects back to
 	// (a superset-free version of) the inputs, demonstrating losslessness
 	// of the 5NF decomposition for relations satisfying the dependency.
-	var rows []join.Row
-	if _, err := dec.Join(join.Options{Seed: 7}, func(r join.Row) { rows = append(rows, r) }); err != nil {
+	var rows []repro.JoinRow
+	if _, err := dec.Join(repro.JoinOptions{Seed: 7}, func(r repro.JoinRow) { rows = append(rows, r) }); err != nil {
 		log.Fatal(err)
 	}
-	again := join.Decompose(rows)
+	again := repro.DecomposeJoinRows(rows)
 	fmt.Printf("round trip: |SB|=%d |BT|=%d |ST|=%d (projections of the reconstructed relation)\n",
 		len(again.SB), len(again.BT), len(again.ST))
 }

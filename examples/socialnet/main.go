@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro"
 	"repro/internal/analytics"
 	"repro/internal/baseline"
 	"repro/internal/extmem"
@@ -70,18 +72,31 @@ func main() {
 		sp.Flush()
 		fmt.Printf("  %-24s %9d I/Os  (Lemma-1 vertices: %d)\n", r.name, sp.Stats().IOs(), info.HighDegVertices)
 	}
-	if err := checkConsistency(sp, g, profile.Total); err != nil {
+	if err := checkConsistency(profile.Total); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// checkConsistency re-counts with a second algorithm; a mismatch would
-// indicate a bug, so the example doubles as an end-to-end smoke test.
-func checkConsistency(sp *extmem.Space, g graph.Canonical, want uint64) error {
-	var n uint64
-	trienum.HuTaoChung(sp, g, graph.Counter(&n))
-	if n != want {
-		return fmt.Errorf("count mismatch: %d vs %d", n, want)
+// checkConsistency re-counts through the public query API with a second
+// algorithm; a mismatch would indicate a bug, so the example doubles as
+// an end-to-end smoke test of the internal pipeline against the public
+// surface.
+func checkConsistency(want uint64) error {
+	pg, err := repro.Build(repro.FromSpec("powerlaw:n=10000,m=40000,beta=2.1"), repro.Options{
+		MemoryWords: 1 << 12,
+		BlockWords:  1 << 6,
+		Seed:        2024,
+	})
+	if err != nil {
+		return err
+	}
+	defer pg.Close()
+	res, err := pg.TrianglesFunc(context.Background(), repro.Query{Algorithm: repro.HuTaoChung}, nil)
+	if err != nil {
+		return err
+	}
+	if res.Triangles != want {
+		return fmt.Errorf("count mismatch: %d vs %d", res.Triangles, want)
 	}
 	return nil
 }

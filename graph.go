@@ -1,0 +1,182 @@
+package repro
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/emsort"
+	"repro/internal/extmem"
+	"repro/internal/graph"
+)
+
+// ErrGraphClosed is returned by queries against a closed Graph handle.
+var ErrGraphClosed = errors.New("repro: graph handle is closed")
+
+// Source supplies the edges a Graph is built from. Use FromEdges,
+// FromReader, FromTextReader, or FromSpec.
+type Source interface {
+	loadEdges(o Options) ([][2]uint32, error)
+}
+
+type edgesSource [][2]uint32
+
+func (s edgesSource) loadEdges(Options) ([][2]uint32, error) { return s, nil }
+
+type readerSource struct{ r io.Reader }
+
+func (s readerSource) loadEdges(Options) ([][2]uint32, error) { return ReadEdgeFile(s.r) }
+
+type textReaderSource struct{ r io.Reader }
+
+func (s textReaderSource) loadEdges(Options) ([][2]uint32, error) { return ReadTextEdges(s.r) }
+
+type specSource string
+
+func (s specSource) loadEdges(o Options) ([][2]uint32, error) { return Generate(string(s), o.Seed) }
+
+// FromEdges sources a graph from an in-memory undirected edge list.
+// Self-loops and duplicate edges are ignored during canonicalization.
+func FromEdges(edges [][2]uint32) Source { return edgesSource(edges) }
+
+// FromReader sources a graph from the library's binary edge-file format
+// (as written by WriteEdgeFile / cmd/graphgen).
+func FromReader(r io.Reader) Source { return readerSource{r} }
+
+// FromTextReader sources a graph from a whitespace-separated text edge
+// list (see ReadTextEdges).
+func FromTextReader(r io.Reader) Source { return textReaderSource{r} }
+
+// FromSpec sources a graph from a generator spec such as
+// "gnm:n=1000,m=8000" (see Generate); the generator seed is Options.Seed.
+func FromSpec(spec string) Source { return specSource(spec) }
+
+// Graph is a reusable handle to a canonicalized graph resident in a
+// simulated (or file-backed) external memory. Build pays the O(sort(E))
+// canonicalization of Section 1.3 exactly once; every query — Triangles,
+// Cliques, Match — then runs against the retained degree-ordered
+// representation, so N queries cost one canonicalization plus N
+// enumerations. Queries serialize on an internal lock (the simulated
+// machine is single-socket by construction: one coordinator cache;
+// worker parallelism lives inside a query, not across queries), are
+// independently cancellable through their context, and leave the handle
+// in a pristine cold-cache state, so a query's I/O statistics depend only
+// on its Query value — never on the queries that ran before it. Because
+// of that lock, emit callbacks and iterator loop bodies — which run
+// while their query holds it — must not issue further queries against,
+// or Close, the same handle; collect what a follow-up query needs and
+// run it after the current one returns.
+type Graph struct {
+	mu       sync.Mutex
+	sp       *extmem.Space
+	cg       graph.Canonical
+	opts     Options // defaulted
+	canonIOs uint64
+	mark     int64 // allocator watermark after canonicalization
+	closed   bool
+}
+
+// Build ingests edges from src, canonicalizes them once — O(sort(E))
+// I/Os, run on the parallel external-memory sorts at Options.Workers
+// unless Options.SequentialCanon is set — and returns the reusable
+// handle. Graphs with Options.DiskPath set hold an open file; Close the
+// handle to release it.
+func Build(src Source, opts Options) (*Graph, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	edges, err := src.loadEdges(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	emCfg := extmem.Config{M: opts.MemoryWords, B: opts.BlockWords}
+	var sp *extmem.Space
+	if opts.DiskPath != "" {
+		sp, err = extmem.NewFileSpace(emCfg, opts.DiskPath)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sp = extmem.NewSpace(emCfg)
+	}
+
+	var el graph.EdgeList
+	for _, e := range edges {
+		el.Add(e[0], e[1])
+	}
+	var cg graph.Canonical
+	var canonWS []extmem.Stats
+	if opts.SequentialCanon {
+		cg = graph.CanonicalizeList(sp, el)
+	} else {
+		// The parallel sort workers' I/Os are part of the canonicalization
+		// cost; the sorts are byte-identical to the sequential ones at
+		// every worker count (including 1), so CanonIOs is invariant in
+		// Options.Workers.
+		workers := opts.workers()
+		sorter := func(ext extmem.Extent, stride int, key emsort.Key) {
+			canonWS = extmem.AddStatsVec(canonWS, emsort.ParallelSortRecords(ext, stride, key, workers))
+		}
+		cg = graph.Canonicalize(sp, el.Write(sp), sorter)
+	}
+	canonStats := sp.Stats()
+	for _, w := range canonWS {
+		canonStats.Add(w)
+	}
+	sp.DropCache()
+	sp.ResetStats()
+
+	return &Graph{
+		sp:       sp,
+		cg:       cg,
+		opts:     opts,
+		canonIOs: canonStats.IOs(),
+		mark:     sp.Mark(),
+	}, nil
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// Close releases the handle's external memory (closing the backing file
+// for disk-backed graphs). Closing an already-closed Graph is a no-op;
+// queries against a closed Graph return ErrGraphClosed.
+func (g *Graph) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	return g.sp.Close()
+}
+
+// NumVertices is the number of non-isolated vertices after deduplication.
+func (g *Graph) NumVertices() int { return g.cg.NumVertices }
+
+// NumEdges is the number of canonical (deduplicated) edges.
+func (g *Graph) NumEdges() int64 { return g.cg.Edges.Len() }
+
+// CanonIOs is the I/O cost of the one-time canonicalization paid by
+// Build; every Result of this handle reports the same value.
+func (g *Graph) CanonIOs() uint64 { return g.canonIOs }
+
+// Options returns the (defaulted) build options of the handle.
+func (g *Graph) Options() Options { return g.opts }
+
+// resetQueryLocked restores the handle to its post-Build state: query
+// scratch released, cache cold, statistics zeroed. Called with g.mu held
+// after every query, successful or cancelled, so each query starts from
+// an identical machine state and its accounting is reproducible.
+func (g *Graph) resetQueryLocked() {
+	g.sp.Release(g.mark)
+	g.sp.DropCache()
+	g.sp.ResetStats()
+}

@@ -1,0 +1,189 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestBuildOnceQueriesMany is the core contract of the Graph handle: the
+// O(sort(E)) canonicalization is paid exactly once at Build time, every
+// query reports that same one-time CanonIOs, and repeated identical
+// queries — interleaved with queries of other algorithms — reproduce
+// identical statistics, because each query starts from the handle's
+// pristine post-Build state.
+func TestBuildOnceQueriesMany(t *testing.T) {
+	g, err := Build(FromSpec("planted:n=300,m=2400,k=15"), Options{
+		MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	q := Query{Algorithm: CacheAware, Seed: 9}
+	first, err := g.TrianglesFunc(nil, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CanonIOs != g.CanonIOs() {
+		t.Errorf("query CanonIOs %d != handle CanonIOs %d", first.CanonIOs, g.CanonIOs())
+	}
+	if first.Triangles == 0 || first.Stats.IOs() == 0 {
+		t.Fatalf("degenerate first query: %+v", first)
+	}
+
+	// Interleave a different algorithm and a clique query, then repeat the
+	// original query: CanonIOs must not be re-paid (same value, and the
+	// repeat's enumeration stats are identical — no canonicalization cost
+	// leaked into them).
+	if _, err := g.TrianglesFunc(nil, Query{Algorithm: HuTaoChung}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.CliquesFunc(nil, 4, Query{Seed: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := g.TrianglesFunc(nil, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CanonIOs != first.CanonIOs {
+			t.Errorf("repeat %d: CanonIOs %d, want the one-time %d", i, res.CanonIOs, first.CanonIOs)
+		}
+		if res.Stats != first.Stats {
+			t.Errorf("repeat %d: Stats %+v differ from first query %+v", i, res.Stats, first.Stats)
+		}
+		if res.Triangles != first.Triangles {
+			t.Errorf("repeat %d: %d triangles, want %d", i, res.Triangles, first.Triangles)
+		}
+	}
+}
+
+// TestBuildSourcesAgree: the same graph through every Source kind yields
+// the same canonical representation and triangle count.
+func TestBuildSourcesAgree(t *testing.T) {
+	edges, err := Generate("gnm:n=200,m=1600", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := WriteEdgeFile(&bin, edges); err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := WriteTextEdges(&txt, edges); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 5}
+	sources := map[string]Source{
+		"edges": FromEdges(edges),
+		"bin":   FromReader(&bin),
+		"text":  FromTextReader(&txt),
+		"spec":  FromSpec("gnm:n=200,m=1600"),
+	}
+	var want Result
+	for _, name := range []string{"edges", "bin", "text", "spec"} {
+		g, err := Build(sources[name], opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := g.TrianglesFunc(nil, Query{Seed: 2}, nil)
+		g.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "edges" {
+			want = res
+			continue
+		}
+		if res.Triangles != want.Triangles || res.Vertices != want.Vertices || res.Edges != want.Edges {
+			t.Errorf("%s: (t=%d V=%d E=%d) differs from edges source (t=%d V=%d E=%d)",
+				name, res.Triangles, res.Vertices, res.Edges, want.Triangles, want.Vertices, want.Edges)
+		}
+	}
+}
+
+// TestBuildDiskBacked: a file-backed handle answers repeated queries with
+// the identical I/O trace of a memory-backed one.
+func TestBuildDiskBacked(t *testing.T) {
+	opts := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 5}
+	mem, err := Build(FromSpec("gnm:n=200,m=2000"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	opts.DiskPath = filepath.Join(t.TempDir(), "em.bin")
+	disk, err := Build(FromSpec("gnm:n=200,m=2000"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	q := Query{Seed: 1}
+	a, err := mem.TrianglesFunc(nil, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		b, err := disk.TrianglesFunc(nil, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Triangles != b.Triangles || a.Stats.IOs() != b.Stats.IOs() {
+			t.Errorf("disk query %d: (t=%d IOs=%d) vs memory (t=%d IOs=%d)",
+				i, b.Triangles, b.Stats.IOs(), a.Triangles, a.Stats.IOs())
+		}
+	}
+}
+
+// TestGraphClosed: queries against a closed handle fail with
+// ErrGraphClosed; closing twice is a no-op.
+func TestGraphClosed(t *testing.T) {
+	g, err := Build(FromSpec("clique:n=10"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TrianglesFunc(nil, Query{}, nil); !errors.Is(err, ErrGraphClosed) {
+		t.Errorf("TrianglesFunc on closed handle: %v, want ErrGraphClosed", err)
+	}
+	if _, err := g.CliquesFunc(nil, 4, Query{}, nil); !errors.Is(err, ErrGraphClosed) {
+		t.Errorf("CliquesFunc on closed handle: %v, want ErrGraphClosed", err)
+	}
+	if _, err := g.MatchFunc(nil, PatternDiamond, Query{}, nil); !errors.Is(err, ErrGraphClosed) {
+		t.Errorf("MatchFunc on closed handle: %v, want ErrGraphClosed", err)
+	}
+	sawErr := false
+	for _, err := range g.Triangles(context.Background(), Query{}) {
+		if !errors.Is(err, ErrGraphClosed) {
+			t.Errorf("iterator on closed handle yielded %v", err)
+		}
+		sawErr = true
+	}
+	if !sawErr {
+		t.Error("iterator on closed handle yielded nothing")
+	}
+}
+
+// TestBuildValidation: the machine description is validated at Build.
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(FromEdges(nil), Options{BlockWords: 100, MemoryWords: 100000}); err == nil {
+		t.Error("non-power-of-two block accepted")
+	}
+	if _, err := Build(FromEdges(nil), Options{BlockWords: 128, MemoryWords: 1000}); err == nil {
+		t.Error("short cache accepted")
+	}
+	if _, err := Build(FromSpec("nope:n=3"), Options{}); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if _, err := Build(FromReader(bytes.NewReader([]byte("junk"))), Options{}); err == nil {
+		t.Error("bad edge file accepted")
+	}
+}

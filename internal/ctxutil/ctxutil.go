@@ -1,0 +1,25 @@
+// Package ctxutil holds the nil-tolerant context helpers shared by every
+// layer that threads cooperative cancellation: a nil context is the
+// "never cancels" default throughout the module, so the guards live here
+// exactly once.
+package ctxutil
+
+import "context"
+
+// Err reports the context's cancellation error; a nil context never
+// cancels.
+func Err(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Done returns the context's done channel; nil (never ready) for a nil
+// context.
+func Done(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}

@@ -1,10 +1,12 @@
 package emsort
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 
+	"repro/internal/ctxutil"
 	"repro/internal/extmem"
 )
 
@@ -62,9 +64,15 @@ type wordTask func(shard *extmem.Space, send func([]extmem.Word) bool)
 // batches to consume in task order on the calling goroutine. Between
 // tasks a worker releases its scratch and drops its cache, so each task
 // runs cold, exactly as on a fresh shard. Returns the per-worker stats.
-func runWordTasks(cfg extmem.Config, shared []extmem.Word, tasks []wordTask, workers int, consume func(task int, batch []extmem.Word)) []extmem.Stats {
+//
+// Cancellation is cooperative with unit granularity: when ctx is
+// cancelled the coordinator stops consuming and dispatching, in-flight
+// units unwind at their next blocked send, the pool drains cleanly (no
+// goroutine outlives the call), and the already-accumulated per-worker
+// stats are returned together with ctx.Err().
+func runWordTasks(ctx context.Context, cfg extmem.Config, shared []extmem.Word, tasks []wordTask, workers int, consume func(task int, batch []extmem.Word)) ([]extmem.Stats, error) {
 	if len(tasks) == 0 {
-		return nil
+		return nil, ctxutil.Err(ctx)
 	}
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -130,13 +138,28 @@ func runWordTasks(cfg extmem.Config, shared []extmem.Word, tasks []wordTask, wor
 			}
 		}
 	}()
+	cancelled := ctxutil.Done(ctx)
 	for i := range tasks {
-		for batch := range streams[i] {
-			consume(i, batch)
+		stream := streams[i]
+		for stream != nil {
+			select {
+			case batch, ok := <-stream:
+				if !ok {
+					stream = nil
+					break
+				}
+				consume(i, batch)
+			case <-cancelled:
+				return stats, ctx.Err()
+			}
 		}
-		<-window
+		select {
+		case <-window:
+		case <-cancelled:
+			return stats, ctx.Err()
+		}
 	}
-	return stats
+	return stats, nil
 }
 
 // ParallelSort sorts words with the parallel cache-aware multiway
@@ -153,12 +176,26 @@ func ParallelSort(ext extmem.Extent, key Key, workers int) []extmem.Stats {
 // extent's Space as usual); their aggregate is identical at every worker
 // count.
 func ParallelSortRecords(ext extmem.Extent, stride int, key Key, workers int) []extmem.Stats {
+	ws, _ := ParallelSortRecordsCtx(nil, ext, stride, key, workers)
+	return ws
+}
+
+// ParallelSortRecordsCtx is ParallelSortRecords with cooperative
+// cancellation: the engine checks ctx between runs and between merge
+// chunks, drains its worker pool cleanly, and returns ctx.Err() with the
+// stats accumulated so far. On a non-nil error the extent's contents are
+// unspecified (a prefix may hold merged records); callers are expected to
+// release the scratch the sort was working in. A nil ctx never cancels.
+func ParallelSortRecordsCtx(ctx context.Context, ext extmem.Extent, stride int, key Key, workers int) ([]extmem.Stats, error) {
 	n := ext.Len()
 	if n%int64(stride) != 0 {
 		panic("emsort: extent length not a multiple of record stride")
 	}
+	if err := ctxutil.Err(ctx); err != nil {
+		return nil, err
+	}
 	if n <= int64(stride) {
-		return nil
+		return nil, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -168,24 +205,24 @@ func ParallelSortRecords(ext extmem.Extent, stride int, key Key, workers int) []
 	avail := cfg.M - sp.Leased()
 	if avail < 8*cfg.B {
 		ObliviousSortRecords(ext, stride, key)
-		return nil
+		return nil, nil
 	}
 	plan := planSort(cfg, avail, stride)
 	if n <= plan.runWords {
 		loadSortStore(ext, stride, key)
-		return nil
+		return nil, nil
 	}
 	if ext.Base()&int64(cfg.B-1) != 0 {
 		// Snapshot needs a block-aligned shared region; stay sequential.
 		SortRecords(ext, stride, key)
-		return nil
+		return nil, nil
 	}
 	numRuns := int((n + plan.runWords - 1) / plan.runWords)
 	if numRuns > plan.fanIn {
 		// Multi-pass merge regime: the single-level key-range partition
 		// below would thrash the shard caches; stay sequential.
 		SortRecords(ext, stride, key)
-		return nil
+		return nil, nil
 	}
 	// Sample geometry: one sampled record per block of run data. The
 	// sample index localizes every boundary search to one block; both the
@@ -209,7 +246,7 @@ func ParallelSortRecords(ext extmem.Extent, stride int, key Key, workers int) []
 	}
 	if totalSamples > avail-2*cfg.B || totalSamples+4*numRuns > cfg.M-2*cfg.B {
 		SortRecords(ext, stride, key)
-		return nil
+		return nil, nil
 	}
 
 	// Phase 1 — run formation. Freeze the input; each task loads its run
@@ -249,7 +286,7 @@ func ParallelSortRecords(ext extmem.Extent, stride int, key Key, workers int) []
 		}
 	}
 	var cur int64
-	ws := runWordTasks(cfg, shared, runTasks, workers, func(task int, batch []extmem.Word) {
+	ws, err := runWordTasks(ctx, cfg, shared, runTasks, workers, func(task int, batch []extmem.Word) {
 		runLo := int64(task) * plan.runWords
 		for _, w := range batch {
 			off := cur - runLo
@@ -260,6 +297,9 @@ func ParallelSortRecords(ext extmem.Extent, stride int, key Key, workers int) []
 			cur++
 		}
 	})
+	if err != nil {
+		return ws, err
+	}
 
 	// Phase 2 — key-range merge. Splitters are drawn from the global
 	// sample multiset; chunk j merges, from every run, the records whose
@@ -314,13 +354,13 @@ func ParallelSortRecords(ext extmem.Extent, stride int, key Key, workers int) []
 		}
 	}
 	var out int64
-	ws2 := runWordTasks(cfg, shared2, chunkTasks, workers, func(_ int, batch []extmem.Word) {
+	ws2, err := runWordTasks(ctx, cfg, shared2, chunkTasks, workers, func(_ int, batch []extmem.Word) {
 		for _, w := range batch {
 			ext.Write(out, w)
 			out++
 		}
 	})
-	return extmem.AddStatsVec(ws, ws2)
+	return extmem.AddStatsVec(ws, ws2), err
 }
 
 // lowerBoundInRun returns the first record index in [0, runRec) of the
@@ -402,9 +442,20 @@ func ParallelFunnelSort(ext extmem.Extent, key Key, workers int) []extmem.Stats 
 // selects runtime.GOMAXPROCS(0); the stats contract matches
 // ParallelSortRecords.
 func ParallelFunnelSortRecords(ext extmem.Extent, stride int, key Key, workers int) []extmem.Stats {
+	ws, _ := ParallelFunnelSortRecordsCtx(nil, ext, stride, key, workers)
+	return ws
+}
+
+// ParallelFunnelSortRecordsCtx is ParallelFunnelSortRecords with
+// cooperative cancellation between top-level segments; the cancellation
+// contract matches ParallelSortRecordsCtx.
+func ParallelFunnelSortRecordsCtx(ctx context.Context, ext extmem.Extent, stride int, key Key, workers int) ([]extmem.Stats, error) {
 	n := ext.Len()
 	if n%int64(stride) != 0 {
 		panic("emsort: extent length not a multiple of record stride")
+	}
+	if err := ctxutil.Err(ctx); err != nil {
+		return nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -413,7 +464,7 @@ func ParallelFunnelSortRecords(ext extmem.Extent, stride int, key Key, workers i
 	cfg := sp.Config()
 	if n/int64(stride) <= funnelBaseRecords || ext.Base()&int64(cfg.B-1) != 0 {
 		FunnelSortRecords(ext, stride, key)
-		return nil
+		return nil, nil
 	}
 	segs := funnelSplit(ext, stride)
 	shared := sp.Snapshot(ext)
@@ -442,12 +493,15 @@ func ParallelFunnelSortRecords(ext extmem.Extent, stride int, key Key, workers i
 		}
 	}
 	var cur int64
-	ws := runWordTasks(cfg, shared, tasks, workers, func(_ int, batch []extmem.Word) {
+	ws, err := runWordTasks(ctx, cfg, shared, tasks, workers, func(_ int, batch []extmem.Word) {
 		for _, w := range batch {
 			ext.Write(cur, w)
 			cur++
 		}
 	})
+	if err != nil {
+		return ws, err
+	}
 	funnelMergeSegs(ext, segs, stride, key)
-	return ws
+	return ws, nil
 }

@@ -309,7 +309,7 @@ func E9KClique() Table {
 		g := graph.CanonicalizeList(sp, w.el)
 		sp.DropCache()
 		sp.ResetStats()
-		info, err := subgraph.KClique(sp, g, 4, 9, func([]uint32) {})
+		info, err := subgraph.KClique(nil, sp, g, 4, 9, func([]uint32) {})
 		if err != nil {
 			panic(err)
 		}

@@ -7,9 +7,11 @@
 package subgraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/ctxutil"
 	"repro/internal/emsort"
 	"repro/internal/extmem"
 	"repro/internal/graph"
@@ -34,8 +36,11 @@ type Info struct {
 }
 
 // KClique enumerates all k-cliques (k >= 3) of g. Emission order follows
-// the decomposition, not any global order.
-func KClique(sp *extmem.Space, g graph.Canonical, k int, seed uint64, emit EmitK) (Info, error) {
+// the decomposition, not any global order. ctx (which may be nil) is
+// checked cooperatively between color-tuple subproblems; on cancellation
+// the enumeration stops early and returns ctx.Err(), with the cliques
+// already emitted forming a prefix of the full stream.
+func KClique(ctx context.Context, sp *extmem.Space, g graph.Canonical, k int, seed uint64, emit EmitK) (Info, error) {
 	var info Info
 	if k < 3 {
 		return info, fmt.Errorf("subgraph: k must be at least 3, got %d", k)
@@ -90,6 +95,9 @@ func KClique(sp *extmem.Space, g graph.Canonical, k int, seed uint64, emit EmitK
 	var iterate func(pos int) error
 	iterate = func(pos int) error {
 		if pos == k {
+			if err := ctxutil.Err(ctx); err != nil {
+				return err
+			}
 			return solveTuple(sp, edges, off, c, col.Color, tuple, verts, &info, emit)
 		}
 		for t := 0; t < c; t++ {
@@ -139,7 +147,7 @@ func solveTuple(sp *extmem.Space, edges extmem.Extent, off []int64, c int, color
 
 	// Load the subproblem into internal memory. Expected size O(k²·M);
 	// the lease is charged for whatever it actually is.
-	release := sp.LeaseAtMost(int(total)*3)
+	release := sp.LeaseAtMost(int(total) * 3)
 	defer release()
 	adj := make(map[uint32][]uint32)
 	for _, r := range ranges {
@@ -216,7 +224,7 @@ func pow(b, e int) int {
 // 3-clique count must equal what trienum reports.
 func CountTriangles(sp *extmem.Space, g graph.Canonical, seed uint64) (uint64, uint64) {
 	var viaK uint64
-	info, _ := KClique(sp, g, 3, seed, func([]uint32) {})
+	info, _ := KClique(nil, sp, g, 3, seed, func([]uint32) {})
 	viaK = info.Cliques
 	var viaT uint64
 	trienum.CacheAware(sp, g, seed, graph.Counter(&viaT))

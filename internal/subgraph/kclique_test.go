@@ -28,7 +28,7 @@ func TestKCliqueOnCliques(t *testing.T) {
 		for _, k := range []int{3, 4, 5} {
 			sp := newSpace()
 			g := graph.CanonicalizeList(sp, graph.Clique(n))
-			info, err := KClique(sp, g, k, 42, func([]uint32) {})
+			info, err := KClique(nil, sp, g, k, 42, func([]uint32) {})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -90,7 +90,7 @@ func TestKCliqueAgainstBruteForce(t *testing.T) {
 			want := bruteCliques(el, k)
 			sp := newSpace()
 			g := graph.CanonicalizeList(sp, el)
-			info, err := KClique(sp, g, k, 7, func([]uint32) {})
+			info, err := KClique(nil, sp, g, k, 7, func([]uint32) {})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -106,7 +106,7 @@ func TestKCliqueEmitsSortedDistinct(t *testing.T) {
 	sp := newSpace()
 	g := graph.CanonicalizeList(sp, el)
 	seen := map[[4]uint32]bool{}
-	_, err := KClique(sp, g, 4, 3, func(vs []uint32) {
+	_, err := KClique(nil, sp, g, 4, 3, func(vs []uint32) {
 		if len(vs) != 4 {
 			t.Fatal("wrong clique size")
 		}
@@ -133,7 +133,7 @@ func TestKCliqueSmallMemoryManyColors(t *testing.T) {
 	want := bruteCliques(el, 4)
 	sp := extmem.NewSpace(extmem.Config{M: 1 << 8, B: 1 << 4})
 	g := graph.CanonicalizeList(sp, el)
-	info, err := KClique(sp, g, 4, 11, func([]uint32) {})
+	info, err := KClique(nil, sp, g, 4, 11, func([]uint32) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestKCliqueSmallMemoryManyColors(t *testing.T) {
 func TestKCliqueRejectsSmallK(t *testing.T) {
 	sp := newSpace()
 	g := graph.CanonicalizeList(sp, graph.Clique(4))
-	if _, err := KClique(sp, g, 2, 1, func([]uint32) {}); err == nil {
+	if _, err := KClique(nil, sp, g, 2, 1, func([]uint32) {}); err == nil {
 		t.Error("k=2 should be rejected")
 	}
 }

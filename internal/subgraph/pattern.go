@@ -1,9 +1,11 @@
 package subgraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/ctxutil"
 	"repro/internal/emsort"
 	"repro/internal/extmem"
 	"repro/internal/graph"
@@ -194,8 +196,9 @@ func (p *Pattern) searchOrder() (order []int, back []uint8) {
 // The decomposition follows Section 6: a 4-wise independent coloring with
 // c colors splits the work into c^k color-tuple subproblems whose bucket
 // unions are expected to be small; each subproblem is solved in internal
-// memory.
-func (p *Pattern) Enumerate(sp *extmem.Space, g graph.Canonical, seed uint64, emit EmitK) (Info, error) {
+// memory. ctx (which may be nil) is checked cooperatively between
+// subproblems, as in KClique.
+func (p *Pattern) Enumerate(ctx context.Context, sp *extmem.Space, g graph.Canonical, seed uint64, emit EmitK) (Info, error) {
 	var info Info
 	E := g.Edges.Len()
 	if E == 0 {
@@ -232,6 +235,9 @@ func (p *Pattern) Enumerate(sp *extmem.Space, g graph.Canonical, seed uint64, em
 	var iterate func(pos int) error
 	iterate = func(pos int) error {
 		if pos == p.k {
+			if err := ctxutil.Err(ctx); err != nil {
+				return err
+			}
 			return p.solvePatternTuple(sp, edges, off, c, col.Color, tuple, order, back, &info, emit)
 		}
 		for t := 0; t < c; t++ {
@@ -297,7 +303,7 @@ func (p *Pattern) solvePatternTuple(sp *extmem.Space, edges extmem.Extent, off [
 		info.MaxSubproblem = total
 	}
 
-	release := sp.LeaseAtMost(int(total)*3)
+	release := sp.LeaseAtMost(int(total) * 3)
 	defer release()
 	adj := make(map[uint32][]uint32)
 	addDir := func(a, b uint32) { adj[a] = append(adj[a], b) }

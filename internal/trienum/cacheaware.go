@@ -125,7 +125,7 @@ func solveColored(sp *extmem.Space, edges extmem.Extent, colorOf func(uint32) ui
 
 	// Bucket offsets: c² + 1 native words of internal memory — within
 	// budget under the paper's assumption c² = E/M <= M, i.e. M >= sqrt(E).
-	release := sp.LeaseAtMost(c*c+1)
+	release := sp.LeaseAtMost(c*c + 1)
 	defer release()
 	off := bucketOffsets(edges, colorOf, c, info)
 

@@ -1,10 +1,12 @@
 package trienum
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/bias"
+	"repro/internal/ctxutil"
 	"repro/internal/emsort"
 	"repro/internal/extmem"
 	"repro/internal/graph"
@@ -54,7 +56,7 @@ func Deterministic(sp *extmem.Space, g graph.Canonical, familySize int, emit gra
 	curLen := highDegreeStep(sp, work, scratch, g, float64(cfg.M), emsort.SortRecords, nil, emit, &info)
 	edges := work.Prefix(curLen)
 
-	colorOf, c, err := buildDeterministicColoring(sp, g, edges, familySize, emsort.SortRecords, &info)
+	colorOf, c, err := buildDeterministicColoring(nil, sp, g, edges, familySize, emsort.SortRecords, &info)
 	if err != nil {
 		return info, err
 	}
@@ -72,7 +74,11 @@ func Deterministic(sp *extmem.Space, g graph.Canonical, familySize int, emit gra
 // bytes and the chosen coloring is sorter-independent). The returned
 // function is pure and safe for concurrent use; the parallel engine
 // hands it to worker shards unchanged.
-func buildDeterministicColoring(sp *extmem.Space, g graph.Canonical, edges extmem.Extent, familySize int, sorter graph.SortFunc, info *Info) (func(uint32) uint32, int, error) {
+// ctx (which may be nil) is checked between greedy levels so a cancelled
+// run stops without scanning the remaining levels; cancellation inside
+// the sorter itself is the caller's to detect (the parallel engine
+// records it and checks after this function unwinds).
+func buildDeterministicColoring(ctx context.Context, sp *extmem.Space, g graph.Canonical, edges extmem.Extent, familySize int, sorter graph.SortFunc, info *Info) (func(uint32) uint32, int, error) {
 	E := g.Edges.Len()
 	if familySize <= 0 {
 		familySize = DefaultFamilySize
@@ -125,6 +131,9 @@ func buildDeterministicColoring(sp *extmem.Space, g graph.Canonical, edges extme
 	}
 	t := fam.Size()
 	for i := 1; i <= logc; i++ {
+		if err := ctxutil.Err(ctx); err != nil {
+			return nil, c, err
+		}
 		ci := 1 << i
 		xTotal := make([]float64, t)
 		xAdj := make([]float64, t)

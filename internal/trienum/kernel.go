@@ -48,7 +48,7 @@ func kernel(sp *extmem.Space, edges, pivots extmem.Extent, memEdges int, filter 
 // kernelChunk processes one memory-resident chunk of pivot edges against a
 // full scan of the edge set.
 func kernelChunk(sp *extmem.Space, edges, chunk extmem.Extent, filter func(v, u, w uint32) bool, emit graph.Emit) {
-	release := sp.LeaseAtMost(int(chunk.Len())*6)
+	release := sp.LeaseAtMost(int(chunk.Len()) * 6)
 	defer release()
 
 	// Load the chunk: the pivot set and Γ_mem, the vertices it touches.

@@ -41,7 +41,12 @@ type Lister func(sp *extmem.Space, g graph.Canonical, seed uint64, emit graph.Em
 // are absorbed into sp, keeping sp.Stats() the full cost of the run.
 func ParallelLister(exec Exec) Lister {
 	return func(sp *extmem.Space, g graph.Canonical, seed uint64, emit graph.Emit) Info {
-		info, workerStats := CacheAwareParallel(sp, g, seed, exec, emit)
+		// Listers have no error channel; the adapter is only used without a
+		// cancellable exec context, so the engine cannot return an error.
+		info, workerStats, err := CacheAwareParallel(sp, g, seed, exec, emit)
+		if err != nil {
+			panic(fmt.Sprintf("trienum: ParallelLister run cancelled: %v", err))
+		}
 		for _, w := range workerStats {
 			sp.Absorb(w)
 		}

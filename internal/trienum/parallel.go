@@ -1,9 +1,11 @@
 package trienum
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
+	"repro/internal/ctxutil"
 	"repro/internal/emio"
 	"repro/internal/emsort"
 	"repro/internal/extmem"
@@ -43,6 +45,13 @@ type Exec struct {
 	// Workers is the number of worker goroutines solving subproblems;
 	// values <= 0 select runtime.GOMAXPROCS(0).
 	Workers int
+	// Ctx, when non-nil, cancels a run cooperatively: the engine checks it
+	// between subproblems (and the parallel sorts between runs), stops
+	// dispatching, drains the worker pool cleanly — no goroutine outlives
+	// the call — and returns Ctx.Err(). Emission already handed to emit is
+	// never retracted; a cancelled run's triangle stream is a prefix of
+	// the full stream. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 func (x Exec) workers() int {
@@ -79,9 +88,14 @@ const (
 // layer over a bounded channel, and tasks are dispatched through a
 // bounded window ahead of the merge cursor, so workers exert
 // backpressure instead of materializing their output.
-func runTasks(cfg extmem.Config, shared []extmem.Word, tasks []shardTask, workers int, emit graph.Emit) []extmem.Stats {
+//
+// When ctx is cancelled the merge layer stops consuming between batches,
+// the dispatcher stops handing out subproblems, in-flight tasks unwind at
+// their next blocked send, and the pool drains before the function
+// returns ctx.Err() with the stats accumulated so far.
+func runTasks(ctx context.Context, cfg extmem.Config, shared []extmem.Word, tasks []shardTask, workers int, emit graph.Emit) ([]extmem.Stats, error) {
 	if len(tasks) == 0 {
-		return nil
+		return nil, ctxutil.Err(ctx)
 	}
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -160,15 +174,30 @@ func runTasks(cfg extmem.Config, shared []extmem.Word, tasks []shardTask, worker
 		}
 	}()
 	// Merge layer: consume the task streams strictly in task order.
+	cancelled := ctxutil.Done(ctx)
 	for i := range tasks {
-		for batch := range streams[i] {
-			for _, t := range batch {
-				emit(t.V1, t.V2, t.V3)
+		stream := streams[i]
+		for stream != nil {
+			select {
+			case batch, ok := <-stream:
+				if !ok {
+					stream = nil
+					break
+				}
+				for _, t := range batch {
+					emit(t.V1, t.V2, t.V3)
+				}
+			case <-cancelled:
+				return stats, ctx.Err()
 			}
 		}
-		<-window
+		select {
+		case <-window:
+		case <-cancelled:
+			return stats, ctx.Err()
+		}
 	}
-	return stats
+	return stats, nil
 }
 
 // CacheAwareParallel is the cache-aware randomized algorithm of Section 2
@@ -177,13 +206,18 @@ func runTasks(cfg extmem.Config, shared []extmem.Word, tasks []shardTask, worker
 // stream and the summed I/O stats are identical for every worker count,
 // and deterministic in seed. The second return value is the per-worker
 // I/O breakdown of the parallel phases (the coordinator's own I/Os accrue
-// to sp as usual).
-func CacheAwareParallel(sp *extmem.Space, g graph.Canonical, seed uint64, exec Exec, emit graph.Emit) (Info, []extmem.Stats) {
+// to sp as usual). A non-nil error is exec.Ctx's cancellation error; the
+// triangles emitted before it are a prefix of the full stream.
+func CacheAwareParallel(sp *extmem.Space, g graph.Canonical, seed uint64, exec Exec, emit graph.Emit) (Info, []extmem.Stats, error) {
 	var info Info
 	emit = countingEmit(&info, emit)
 	E := g.Edges.Len()
 	if E == 0 {
-		return info, nil
+		return info, nil, ctxutil.Err(exec.Ctx)
+	}
+	ctx := exec.Ctx
+	if err := ctxutil.Err(ctx); err != nil {
+		return info, nil, err
 	}
 	cfg := sp.Config()
 	workers := exec.workers()
@@ -193,25 +227,33 @@ func CacheAwareParallel(sp *extmem.Space, g graph.Canonical, seed uint64, exec E
 	work := sp.Alloc(E)
 	g.Edges.CopyTo(work)
 
-	curLen, workerStats := highDegreeParallel(sp, work, g, workers, emit, &info)
+	curLen, workerStats, err := highDegreeParallel(ctx, sp, work, g, workers, emit, &info)
+	if err != nil {
+		return info, workerStats, err
+	}
 
 	c := ceilSqrt(float64(E) / float64(cfg.M))
 	info.Colors = c
 	col := hashing.NewColoring(hashing.NewRand(seed), c)
-	ws := solveColoredParallel(sp, work.Prefix(curLen), col.Color, c, workers, &info, emit)
-	return info, extmem.AddStatsVec(workerStats, ws)
+	ws, err := solveColoredParallel(ctx, sp, work.Prefix(curLen), col.Color, c, workers, &info, emit)
+	return info, extmem.AddStatsVec(workerStats, ws), err
 }
 
 // DeterministicParallel is the derandomized algorithm of Section 4 on the
 // worker-pool engine. The greedy coloring construction is inherently
-// sequential and runs on the coordinator; the high-degree passes and the
-// color-triple kernels parallelize as in CacheAwareParallel.
+// sequential and runs on the coordinator (checking exec.Ctx between
+// levels); the high-degree passes and the color-triple kernels
+// parallelize as in CacheAwareParallel.
 func DeterministicParallel(sp *extmem.Space, g graph.Canonical, familySize int, exec Exec, emit graph.Emit) (Info, []extmem.Stats, error) {
 	var info Info
 	emit = countingEmit(&info, emit)
 	E := g.Edges.Len()
 	if E == 0 {
-		return info, nil, nil
+		return info, nil, ctxutil.Err(exec.Ctx)
+	}
+	ctx := exec.Ctx
+	if err := ctxutil.Err(ctx); err != nil {
+		return info, nil, err
 	}
 	workers := exec.workers()
 	mark := sp.Mark()
@@ -220,20 +262,34 @@ func DeterministicParallel(sp *extmem.Space, g graph.Canonical, familySize int, 
 	work := sp.Alloc(E)
 	g.Edges.CopyTo(work)
 
-	curLen, workerStats := highDegreeParallel(sp, work, g, workers, emit, &info)
-	edges := work.Prefix(curLen)
-
-	// The greedy bit selection is inherently sequential, but the
-	// endpoint-doubled list it scans is ordered by the parallel sort.
-	sorter := func(ext extmem.Extent, stride int, key emsort.Key) {
-		workerStats = extmem.AddStatsVec(workerStats, emsort.ParallelSortRecords(ext, stride, key, workers))
-	}
-	colorOf, c, err := buildDeterministicColoring(sp, g, edges, familySize, sorter, &info)
+	curLen, workerStats, err := highDegreeParallel(ctx, sp, work, g, workers, emit, &info)
 	if err != nil {
 		return info, workerStats, err
 	}
-	ws := solveColoredParallel(sp, edges, colorOf, c, workers, &info, emit)
-	return info, extmem.AddStatsVec(workerStats, ws), nil
+	edges := work.Prefix(curLen)
+
+	// The greedy bit selection is inherently sequential, but the
+	// endpoint-doubled list it scans is ordered by the parallel sort. A
+	// cancellation inside the sort is recorded and surfaces right after
+	// the coloring construction unwinds.
+	var sortErr error
+	sorter := func(ext extmem.Extent, stride int, key emsort.Key) {
+		if sortErr != nil {
+			return
+		}
+		ws, err := emsort.ParallelSortRecordsCtx(ctx, ext, stride, key, workers)
+		workerStats = extmem.AddStatsVec(workerStats, ws)
+		sortErr = err
+	}
+	colorOf, c, err := buildDeterministicColoring(ctx, sp, g, edges, familySize, sorter, &info)
+	if sortErr != nil {
+		return info, workerStats, sortErr
+	}
+	if err != nil {
+		return info, workerStats, err
+	}
+	ws, err := solveColoredParallel(ctx, sp, edges, colorOf, c, workers, &info, emit)
+	return info, extmem.AddStatsVec(workerStats, ws), err
 }
 
 // highDegreeParallel runs step 1 — one Lemma 1 pass per vertex of degree
@@ -248,12 +304,12 @@ func DeterministicParallel(sp *extmem.Space, g graph.Canonical, familySize int, 
 // found at vr is kept only if u, w < vr, i.e. vr is the triangle's
 // highest corner. The per-vertex triangle sets coincide with the
 // reference path's.
-func highDegreeParallel(sp *extmem.Space, work extmem.Extent, g graph.Canonical, workers int, emit graph.Emit, info *Info) (int64, []extmem.Stats) {
+func highDegreeParallel(ctx context.Context, sp *extmem.Space, work extmem.Extent, g graph.Canonical, workers int, emit graph.Emit, info *Info) (int64, []extmem.Stats, error) {
 	E := work.Len()
 	cfg := sp.Config()
 	r0 := highDegreeCut(g, float64(E), float64(cfg.M))
 	if r0 >= g.NumVertices {
-		return E, nil
+		return E, nil, nil
 	}
 	shared := sp.Snapshot(work)
 	var tasks []shardTask
@@ -269,8 +325,11 @@ func highDegreeParallel(sp *extmem.Space, work extmem.Extent, g graph.Canonical,
 		})
 		info.HighDegVertices++
 	}
-	stats := runTasks(cfg, shared, tasks, workers, emit)
-	return compactBelow(sp, work, uint32(r0)), stats
+	stats, err := runTasks(ctx, cfg, shared, tasks, workers, emit)
+	if err != nil {
+		return 0, stats, err
+	}
+	return compactBelow(sp, work, uint32(r0)), stats, nil
 }
 
 // compactBelow drops every edge with an endpoint of rank >= r0 (edges are
@@ -294,24 +353,31 @@ func compactBelow(sp *extmem.Space, work extmem.Extent, r0 uint32) int64 {
 // edges into color-pair buckets with the parallel emsort engine (the
 // sequential Amdahl bottleneck before it) and freezes them; each triple's
 // bucket union, kernel run, and color filter happen on a worker shard.
-func solveColoredParallel(sp *extmem.Space, edges extmem.Extent, colorOf func(uint32) uint32, c int, workers int, info *Info, emit graph.Emit) []extmem.Stats {
+func solveColoredParallel(ctx context.Context, sp *extmem.Space, edges extmem.Extent, colorOf func(uint32) uint32, c int, workers int, info *Info, emit graph.Emit) ([]extmem.Stats, error) {
 	E := edges.Len()
 	if E == 0 {
-		return nil
+		return nil, ctxutil.Err(ctx)
 	}
 	cfg := sp.Config()
 	if c <= 1 {
-		sortWS := emsort.ParallelSortRecords(edges, 1, emsort.Identity, workers)
+		sortWS, err := emsort.ParallelSortRecordsCtx(ctx, edges, 1, emsort.Identity, workers)
+		if err != nil {
+			return sortWS, err
+		}
 		shared := sp.Snapshot(edges)
 		info.Subproblems++
 		task := func(shard *extmem.Space, emit graph.Emit) {
 			seg := shard.ExtentAt(0, E)
 			kernel(shard, seg, seg, 0, nil, emit)
 		}
-		return extmem.AddStatsVec(sortWS, runTasks(cfg, shared, []shardTask{task}, 1, emit))
+		ws, err := runTasks(ctx, cfg, shared, []shardTask{task}, 1, emit)
+		return extmem.AddStatsVec(sortWS, ws), err
 	}
-	sortWS := emsort.ParallelSortRecords(edges, 1, colorPairKey(colorOf, c), workers)
-	release := sp.LeaseAtMost(c*c+1)
+	sortWS, err := emsort.ParallelSortRecordsCtx(ctx, edges, 1, colorPairKey(colorOf, c), workers)
+	if err != nil {
+		return sortWS, err
+	}
+	release := sp.LeaseAtMost(c*c + 1)
 	off := bucketOffsets(edges, colorOf, c, info)
 	release()
 	shared := sp.Snapshot(edges)
@@ -321,7 +387,7 @@ func solveColoredParallel(sp *extmem.Space, edges extmem.Extent, colorOf func(ui
 		tasks = append(tasks, func(shard *extmem.Space, emit graph.Emit) {
 			// The shard consults the same c²+1-word bucket index the
 			// coordinator built; charge it the same internal memory.
-			release := shard.LeaseAtMost(c*c+1)
+			release := shard.LeaseAtMost(c*c + 1)
 			defer release()
 			seg := shard.ExtentAt(0, E)
 			// Scratch for the bucket union; the three named buckets bound
@@ -333,5 +399,6 @@ func solveColoredParallel(sp *extmem.Space, edges extmem.Extent, colorOf func(ui
 		})
 		info.Subproblems++
 	})
-	return extmem.AddStatsVec(sortWS, runTasks(cfg, shared, tasks, workers, emit))
+	ws, err := runTasks(ctx, cfg, shared, tasks, workers, emit)
+	return extmem.AddStatsVec(sortWS, ws), err
 }

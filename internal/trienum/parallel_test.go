@@ -36,7 +36,11 @@ var parallelEngines = []struct {
 	run  func(sp *extmem.Space, g graph.Canonical, exec Exec, emit graph.Emit) (Info, []extmem.Stats)
 }{
 	{"cacheaware", func(sp *extmem.Space, g graph.Canonical, exec Exec, emit graph.Emit) (Info, []extmem.Stats) {
-		return CacheAwareParallel(sp, g, 12345, exec, emit)
+		info, ws, err := CacheAwareParallel(sp, g, 12345, exec, emit)
+		if err != nil {
+			panic(err)
+		}
+		return info, ws
 	}},
 	{"deterministic", func(sp *extmem.Space, g graph.Canonical, exec Exec, emit graph.Emit) (Info, []extmem.Stats) {
 		info, ws, err := DeterministicParallel(sp, g, 0, exec, emit)
@@ -238,7 +242,7 @@ func TestParallelListerAbsorbsWorkerIOs(t *testing.T) {
 	ref.DropCache()
 	ref.ResetStats()
 	var n uint64
-	_, ws := CacheAwareParallel(ref, gr, 9, Exec{Workers: 2}, graph.Counter(&n))
+	_, ws, _ := CacheAwareParallel(ref, gr, 9, Exec{Workers: 2}, graph.Counter(&n))
 	want := ref.Stats()
 	for _, w := range ws {
 		want.Add(w)
@@ -265,7 +269,7 @@ func TestParallelWorkerStatsBreakdown(t *testing.T) {
 	sp := extmem.NewSpace(cfg)
 	g := graph.CanonicalizeList(sp, el)
 	var n uint64
-	_, ws := CacheAwareParallel(sp, g, 4, Exec{Workers: 3}, graph.Counter(&n))
+	_, ws, _ := CacheAwareParallel(sp, g, 4, Exec{Workers: 3}, graph.Counter(&n))
 	if len(ws) == 0 {
 		t.Fatal("no worker stats returned")
 	}

@@ -1,0 +1,112 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/join"
+)
+
+// The public face of the database application that motivates the paper
+// (Section 1): a ternary relation in 5th normal form stored as its three
+// binary projections is reconstructed by the three-way join
+// SB ⋈ BT ⋈ ST, which is exactly triangle enumeration on the union of
+// the three bipartite graphs.
+
+// JoinPair is one tuple of a binary relation.
+type JoinPair struct{ A, B string }
+
+// JoinRow is one tuple of the reconstructed ternary relation.
+type JoinRow struct{ Salesperson, Brand, ProductType string }
+
+// JoinDecomposition holds the three binary projections of a 5NF-
+// decomposed ternary relation Sells(salesperson, brand, productType).
+type JoinDecomposition struct {
+	SB []JoinPair // (salesperson, brand)
+	BT []JoinPair // (brand, productType)
+	ST []JoinPair // (salesperson, productType)
+}
+
+// JoinOptions configures JoinDecomposition.Join.
+type JoinOptions struct {
+	// Algorithm selects the triangle-enumeration algorithm driving the
+	// join: CacheAware (default), CacheOblivious, Deterministic, or
+	// HuTaoChung. The baselines are not offered here; they exist to be
+	// measured against, not to serve queries.
+	Algorithm Algorithm
+	// MemoryWords and BlockWords describe the simulated machine; zero
+	// values default to 1<<16 and 1<<7.
+	MemoryWords int
+	BlockWords  int
+	// Seed drives the randomized algorithms.
+	Seed uint64
+}
+
+// JoinStats reports the I/O work of a join.
+type JoinStats struct {
+	Rows        uint64
+	IOs         uint64
+	BlockReads  uint64
+	BlockWrites uint64
+}
+
+// Join computes SB ⋈ BT ⋈ ST, calling visit once per reconstructed row
+// (in no particular order), and returns I/O statistics of the underlying
+// triangle enumeration.
+func (d JoinDecomposition) Join(opt JoinOptions, visit func(JoinRow)) (JoinStats, error) {
+	var alg join.Algorithm
+	switch opt.Algorithm {
+	case CacheAware:
+		alg = join.CacheAware
+	case CacheOblivious:
+		alg = join.CacheOblivious
+	case Deterministic:
+		alg = join.Deterministic
+	case HuTaoChung:
+		alg = join.HuTaoChung
+	default:
+		return JoinStats{}, fmt.Errorf("repro: join does not support algorithm %v", opt.Algorithm)
+	}
+	dec := join.Decomposition{SB: toJoinPairs(d.SB), BT: toJoinPairs(d.BT), ST: toJoinPairs(d.ST)}
+	st, err := dec.Join(join.Options{
+		Algorithm:   alg,
+		MemoryWords: opt.MemoryWords,
+		BlockWords:  opt.BlockWords,
+		Seed:        opt.Seed,
+	}, func(r join.Row) {
+		if visit != nil {
+			visit(JoinRow{Salesperson: r.Salesperson, Brand: r.Brand, ProductType: r.ProductType})
+		}
+	})
+	if err != nil {
+		return JoinStats{}, err
+	}
+	return JoinStats{Rows: st.Rows, IOs: st.IOs, BlockReads: st.BlockReads, BlockWrites: st.BlockWrite}, nil
+}
+
+// DecomposeJoinRows projects a ternary relation onto its three binary
+// projections, deduplicating pairs. If the relation is in 5th normal
+// form, Join(DecomposeJoinRows(R)) reconstructs R exactly.
+func DecomposeJoinRows(rows []JoinRow) JoinDecomposition {
+	in := make([]join.Row, len(rows))
+	for i, r := range rows {
+		in[i] = join.Row{Salesperson: r.Salesperson, Brand: r.Brand, ProductType: r.ProductType}
+	}
+	dec := join.Decompose(in)
+	return JoinDecomposition{SB: fromJoinPairs(dec.SB), BT: fromJoinPairs(dec.BT), ST: fromJoinPairs(dec.ST)}
+}
+
+func toJoinPairs(ps []JoinPair) []join.Pair {
+	out := make([]join.Pair, len(ps))
+	for i, p := range ps {
+		out[i] = join.Pair{A: p.A, B: p.B}
+	}
+	return out
+}
+
+func fromJoinPairs(ps []join.Pair) []JoinPair {
+	out := make([]JoinPair, len(ps))
+	for i, p := range ps {
+		out[i] = JoinPair{A: p.A, B: p.B}
+	}
+	return out
+}

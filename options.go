@@ -1,0 +1,196 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/extmem"
+)
+
+// Algorithm selects the enumeration algorithm.
+type Algorithm int
+
+const (
+	// CacheAware is the randomized cache-aware algorithm of Section 2:
+	// O(E^1.5/(sqrt(M)·B)) expected I/Os. The default.
+	CacheAware Algorithm = iota
+	// CacheOblivious is the randomized cache-oblivious algorithm of
+	// Section 3: same bound, without using M or B.
+	CacheOblivious
+	// Deterministic is the derandomized cache-aware algorithm of Section
+	// 4: same bound, worst case.
+	Deterministic
+	// HuTaoChung is the SIGMOD 2013 baseline: O(E²/(M·B)) I/Os.
+	HuTaoChung
+	// BlockNestedLoop is the classical join plan: O(E³/(M²·B)) I/Os.
+	BlockNestedLoop
+	// EdgeIterator is the Menegola-style baseline: O(E + E^1.5/B) I/Os.
+	EdgeIterator
+	// SortMerge is Dementiev's sort-based baseline: O(sort(E^1.5)) I/Os.
+	SortMerge
+)
+
+var algorithmNames = map[Algorithm]string{
+	CacheAware:      "cacheaware",
+	CacheOblivious:  "oblivious",
+	Deterministic:   "deterministic",
+	HuTaoChung:      "hutaochung",
+	BlockNestedLoop: "nestedloop",
+	EdgeIterator:    "edgeiterator",
+	SortMerge:       "sortmerge",
+}
+
+// String returns the canonical lower-case name.
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists every available algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{CacheAware, CacheOblivious, Deterministic, HuTaoChung, BlockNestedLoop, EdgeIterator, SortMerge}
+}
+
+// ParseAlgorithm resolves a name produced by Algorithm.String.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, n := range algorithmNames {
+		if n == strings.ToLower(s) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("repro: unknown algorithm %q (have %v)", s, Algorithms())
+}
+
+// Options describes the simulated external-memory machine a Graph is
+// built on and the defaults its queries inherit. The zero value is a
+// usable default machine (M = 1<<16 words, B = 1<<7 words, one worker
+// per CPU, memory-backed).
+type Options struct {
+	// MemoryWords is the internal memory size M in 64-bit words
+	// (default 1<<16). Must satisfy the tall-cache assumption
+	// MemoryWords >= BlockWords².
+	MemoryWords int
+	// BlockWords is the block size B in words (default 1<<7, i.e. 1 KiB
+	// blocks). Must be a power of two.
+	BlockWords int
+	// Workers is the default worker count for the parallel phases: the
+	// O(sort(E)) canonicalization at Build time and every query that runs
+	// a parallel-capable algorithm (0 = runtime.GOMAXPROCS(0), i.e. one
+	// per CPU). Queries may override it per call via Query.Workers. The
+	// canonical representation, every query's emission stream, and all
+	// aggregated I/O statistics are identical for every value — only
+	// wall-clock time changes.
+	Workers int
+	// Seed drives randomized edge sources (FromSpec generators); the
+	// randomized query algorithms take their seed from Query.Seed.
+	Seed uint64
+	// DiskPath, when non-empty, backs the external memory with a real
+	// file at that path instead of process memory. Close the Graph to
+	// release it.
+	DiskPath string
+	// SequentialCanon runs the Build-time canonicalization with the
+	// sequential reference sorts on the coordinator instead of the
+	// parallel emsort engine. The canonical representation is
+	// byte-identical either way; only the I/O accounting attributed to
+	// CanonIOs differs (the parallel engine charges each unit a cold
+	// start, the PEM accounting). The compatibility shims use this to
+	// reproduce the historical per-algorithm accounting exactly.
+	SequentialCanon bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemoryWords == 0 {
+		o.MemoryWords = 1 << 16
+	}
+	if o.BlockWords == 0 {
+		o.BlockWords = 1 << 7
+	}
+	return o
+}
+
+// validate checks the machine description. It runs on the defaulted
+// options, so a zero Options is always valid.
+func (o Options) validate() error {
+	if o.BlockWords <= 0 || o.BlockWords&(o.BlockWords-1) != 0 {
+		return fmt.Errorf("repro: BlockWords must be a positive power of two, got %d", o.BlockWords)
+	}
+	if o.MemoryWords < o.BlockWords*o.BlockWords {
+		return fmt.Errorf("repro: tall-cache assumption requires MemoryWords >= BlockWords² (%d < %d)",
+			o.MemoryWords, o.BlockWords*o.BlockWords)
+	}
+	return nil
+}
+
+// Config describes a one-shot Enumerate/Count run: the simulated machine
+// plus the algorithm to run on it. New code should prefer Build with
+// Options and per-query Query values; Config remains the one-call
+// configuration of the compatibility shims.
+type Config struct {
+	// Algorithm defaults to CacheAware.
+	Algorithm Algorithm
+	// MemoryWords is the internal memory size M in 64-bit words
+	// (default 1<<16). Must satisfy the tall-cache assumption
+	// MemoryWords >= BlockWords².
+	MemoryWords int
+	// BlockWords is the block size B in words (default 1<<7, i.e. 1 KiB
+	// blocks). Must be a power of two.
+	BlockWords int
+	// Seed drives the randomized algorithms; runs are deterministic in it.
+	Seed uint64
+	// Workers is the number of parallel workers solving independent
+	// subproblems — and running the parallel external-memory sorts that
+	// canonicalize the input and order the color-pair buckets — for the
+	// CacheAware and Deterministic algorithms (0 = runtime.GOMAXPROCS(0),
+	// i.e. one per CPU; the other algorithms are sequential and ignore
+	// it). The triangle stream, the triangle count, and the aggregated
+	// I/O statistics (including CanonIOs) are identical for every value
+	// of Workers — only wall-clock time changes.
+	Workers int
+	// FamilySize overrides the small-bias family size used by the
+	// Deterministic algorithm (0 = default).
+	FamilySize int
+	// DiskPath, when non-empty, backs the external memory with a real
+	// file at that path instead of process memory.
+	DiskPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryWords == 0 {
+		c.MemoryWords = 1 << 16
+	}
+	if c.BlockWords == 0 {
+		c.BlockWords = 1 << 7
+	}
+	return c
+}
+
+// IOStats reports the block-transfer counts of a run.
+type IOStats struct {
+	// BlockReads and BlockWrites are the I/Os the paper's bounds count.
+	BlockReads  uint64
+	BlockWrites uint64
+	// WordReads and WordWrites measure internal work (free in the model).
+	WordReads  uint64
+	WordWrites uint64
+	// PeakLeaseWords is the high-water mark of internal memory used for
+	// native algorithm state.
+	PeakLeaseWords int
+	// PeakDiskWords is the high-water mark of external memory used.
+	PeakDiskWords int64
+}
+
+// IOs returns BlockReads + BlockWrites.
+func (s IOStats) IOs() uint64 { return s.BlockReads + s.BlockWrites }
+
+func toIOStats(st extmem.Stats) IOStats {
+	return IOStats{
+		BlockReads:     st.BlockReads,
+		BlockWrites:    st.BlockWrites,
+		WordReads:      st.WordReads,
+		WordWrites:     st.WordWrites,
+		PeakLeaseWords: st.PeakLease,
+		PeakDiskWords:  st.PeakAlloc,
+	}
+}

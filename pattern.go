@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/subgraph"
+)
+
+// Pattern is a small connected pattern graph H on 2–8 vertices for Match
+// queries: the Section 6 extension of the paper's decomposition to
+// arbitrary constant-size subgraphs in the Alon class (Silvestri 2014).
+// The zero value is not usable; construct with NewPattern, ParsePattern,
+// or use a predefined pattern.
+type Pattern struct {
+	p *subgraph.Pattern
+}
+
+// NewPattern builds a pattern from an edge list over vertices 0..k-1.
+// The pattern must be connected (otherwise its copies are not determined
+// by a single color-coded subproblem).
+func NewPattern(name string, k int, edges [][2]int) (*Pattern, error) {
+	p, err := subgraph.NewPattern(name, k, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{p: p}, nil
+}
+
+// MustPattern is NewPattern for statically known patterns.
+func MustPattern(name string, k int, edges [][2]int) *Pattern {
+	p, err := NewPattern(name, k, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Predefined patterns.
+var (
+	// PatternTriangle is K3.
+	PatternTriangle = &Pattern{p: subgraph.Triangle}
+	// PatternPath3 is the path on three vertices (a wedge).
+	PatternPath3 = &Pattern{p: subgraph.Path3}
+	// PatternCycle4 is the 4-cycle.
+	PatternCycle4 = &Pattern{p: subgraph.Cycle4}
+	// PatternDiamond is K4 minus one edge.
+	PatternDiamond = &Pattern{p: subgraph.Diamond}
+	// PatternK4 is the 4-clique.
+	PatternK4 = &Pattern{p: subgraph.K4}
+	// PatternStar3 is the claw K_{1,3}.
+	PatternStar3 = &Pattern{p: subgraph.Star3}
+	// PatternHouse is C5 plus a chord (5 vertices, 6 edges).
+	PatternHouse = &Pattern{p: subgraph.House}
+)
+
+// Patterns lists the predefined patterns.
+func Patterns() []*Pattern {
+	return []*Pattern{PatternTriangle, PatternPath3, PatternCycle4, PatternDiamond, PatternK4, PatternStar3, PatternHouse}
+}
+
+// ParsePattern resolves the name of a predefined pattern (as reported by
+// Pattern.Name), e.g. for a command-line flag.
+func ParsePattern(name string) (*Pattern, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, p := range Patterns() {
+		if p.Name() == want {
+			return p, nil
+		}
+	}
+	var have []string
+	for _, p := range Patterns() {
+		have = append(have, p.Name())
+	}
+	return nil, fmt.Errorf("repro: unknown pattern %q (have %v)", name, have)
+}
+
+// K returns the number of pattern vertices.
+func (p *Pattern) K() int { return p.p.K() }
+
+// Name returns the pattern's name.
+func (p *Pattern) Name() string { return p.p.Name() }
+
+// Edges returns the pattern's edge pairs (i < j).
+func (p *Pattern) Edges() [][2]int { return p.p.Edges() }
+
+// Automorphisms returns |Aut(H)|, the symmetry count Match deduplicates
+// embeddings by.
+func (p *Pattern) Automorphisms() int { return p.p.Automorphisms() }
+
+// String returns the pattern's name.
+func (p *Pattern) String() string { return p.p.Name() }

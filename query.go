@@ -1,0 +1,355 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/ctxutil"
+	"repro/internal/extmem"
+	"repro/internal/graph"
+	"repro/internal/subgraph"
+	"repro/internal/trienum"
+)
+
+// Query configures one enumeration run against a Graph handle.
+type Query struct {
+	// Algorithm selects the triangle-enumeration algorithm for Triangles
+	// queries (default CacheAware). Cliques and Match always use the
+	// Section 6 color-coding decomposition and ignore it.
+	Algorithm Algorithm
+	// Seed drives the randomized decompositions; a query is deterministic
+	// in it.
+	Seed uint64
+	// Workers overrides the Graph's Options.Workers for this query
+	// (0 = inherit). Only CacheAware and Deterministic run parallel
+	// phases; emission and aggregated statistics are identical at every
+	// worker count.
+	Workers int
+	// FamilySize overrides the small-bias family size used by the
+	// Deterministic algorithm (0 = default).
+	FamilySize int
+	// Result, when non-nil, receives the query's Result when the run
+	// finishes — the way the iterator forms report statistics. The
+	// callback forms also return it directly.
+	Result *Result
+}
+
+// Triangle is one emitted triangle in the caller's vertex ids, sorted so
+// that A < B < C.
+type Triangle struct{ A, B, C uint32 }
+
+// Result summarizes an enumeration run.
+type Result struct {
+	// Triangles is the number of triangles emitted (Triangles queries).
+	Triangles uint64
+	// Matches is the number of emitted matches of any query kind:
+	// triangles, k-cliques, or pattern embeddings modulo Aut(H).
+	Matches uint64
+	// Vertices and Edges describe the graph after deduplication.
+	Vertices int
+	Edges    int64
+	// Stats covers the enumeration proper (canonicalization excluded).
+	Stats IOStats
+	// CanonIOs is the I/O cost of converting the input to the canonical
+	// degree-ordered representation (O(sort(E)), Section 1.3). A Graph
+	// handle pays it once at Build time; every query of the handle
+	// reports that same one-time cost.
+	CanonIOs uint64
+	// Colors, HighDegVertices, Subproblems and X expose algorithm
+	// internals for experiments; see trienum.Info.
+	Colors          int
+	HighDegVertices int
+	Subproblems     int
+	X               uint64
+	// MaxSubproblem is the largest color-tuple subproblem (in edges)
+	// actually loaded by a Cliques or Match query, to compare against the
+	// O(k²·M) expectation of Section 6.
+	MaxSubproblem int64
+	// Workers is the resolved worker cap of the run: Config.Workers after
+	// defaulting, or 1 for the sequential algorithms. The engine engages
+	// at most one worker per subproblem, so fewer workers (len of
+	// WorkerStats) may actually run on small inputs.
+	Workers int
+	// WorkerStats breaks the parallel phases down per worker. Which
+	// worker solved which subproblem depends on scheduling, so individual
+	// entries vary run to run; their sum does not, and is already
+	// included in Stats.
+	WorkerStats []IOStats
+}
+
+func (g *Graph) resolveWorkers(q Query) int {
+	if q.Workers > 0 {
+		return q.Workers
+	}
+	return g.opts.workers()
+}
+
+// TrianglesFunc enumerates every triangle of the graph with the
+// configured algorithm, calling emit exactly once per triangle from the
+// calling goroutine. Vertices carry the input's ids, sorted a < b < c; a
+// nil emit counts only. Cancellation through ctx is cooperative — the
+// parallel engine (CacheAware, Deterministic) checks between subproblems
+// and sort runs, drains its worker pool, and returns ctx.Err(); the
+// sequential algorithms check only between phases. The triangles emitted
+// before a cancellation are a prefix of the full stream, and the Result
+// returned alongside the error carries the partial counts and the
+// statistics accumulated so far. ctx may be nil.
+//
+// emit runs on the calling goroutine while the handle's query lock is
+// held: it must not issue another query against, or Close, the same
+// Graph — that deadlocks. Run follow-up queries after the call returns.
+func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c uint32)) (Result, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return Result{}, ErrGraphClosed
+	}
+	defer g.resetQueryLocked()
+
+	res := g.baseResult()
+	workers := g.resolveWorkers(q)
+	exec := trienum.Exec{Workers: workers, Ctx: ctx}
+	wrapped := func(a, b, c uint32) {
+		if emit != nil {
+			t := graph.MakeTriple(g.cg.RankToID[a], g.cg.RankToID[b], g.cg.RankToID[c])
+			emit(t.V1, t.V2, t.V3)
+		}
+	}
+
+	var info trienum.Info
+	var workerStats []extmem.Stats
+	var err error
+	switch q.Algorithm {
+	case CacheAware:
+		info, workerStats, err = trienum.CacheAwareParallel(g.sp, g.cg, q.Seed, exec, wrapped)
+		res.Workers = workers
+	case CacheOblivious:
+		if err = ctxutil.Err(ctx); err == nil {
+			info = trienum.Oblivious(g.sp, g.cg, q.Seed, wrapped)
+		}
+	case Deterministic:
+		info, workerStats, err = trienum.DeterministicParallel(g.sp, g.cg, q.FamilySize, exec, wrapped)
+		if err == nil {
+			res.Workers = workers
+		}
+	case HuTaoChung:
+		if err = ctxutil.Err(ctx); err == nil {
+			info = trienum.HuTaoChung(g.sp, g.cg, wrapped)
+		}
+	case BlockNestedLoop:
+		if err = ctxutil.Err(ctx); err == nil {
+			info = baseline.BlockNestedLoop(g.sp, g.cg, wrapped)
+		}
+	case EdgeIterator:
+		if err = ctxutil.Err(ctx); err == nil {
+			info = baseline.EdgeIterator(g.sp, g.cg, wrapped)
+		}
+	case SortMerge:
+		if err = ctxutil.Err(ctx); err == nil {
+			info = trienum.Dementiev(g.sp, g.cg, wrapped)
+		}
+	default:
+		return res, fmt.Errorf("repro: unknown algorithm %v", q.Algorithm)
+	}
+	if err == nil {
+		// Count the final write-backs into the run's statistics; a
+		// cancelled run reports its statistics as accumulated, unflushed.
+		g.sp.Flush()
+	}
+	st := g.sp.Stats()
+	for _, w := range workerStats {
+		st.Add(w)
+		res.WorkerStats = append(res.WorkerStats, toIOStats(w))
+	}
+	res.Stats = toIOStats(st)
+	res.Triangles = info.Triangles
+	res.Matches = info.Triangles
+	res.Colors = info.Colors
+	res.HighDegVertices = info.HighDegVertices
+	res.Subproblems = info.Subproblems
+	res.X = info.X
+	g.deliverResult(q, res)
+	return res, err
+}
+
+// Triangles returns the query as a Go 1.23 range-over-func iterator:
+//
+//	for t, err := range g.Triangles(ctx, repro.Query{}) {
+//		if err != nil { ... }
+//		use(t)
+//	}
+//
+// A non-nil error is yielded at most once, as the final element.
+// Breaking out of the loop cancels the underlying query and drains its
+// workers before the iterator returns. Set Query.Result to receive the
+// per-query statistics.
+//
+// The loop body runs while the handle's query lock is held: like an emit
+// callback, it must not issue another query against, or Close, the same
+// Graph — collect what the follow-up needs and run it after the loop.
+func (g *Graph) Triangles(ctx context.Context, q Query) iter.Seq2[Triangle, error] {
+	return func(yield func(Triangle, error) bool) {
+		qctx, cancel := cancelableCtx(ctx)
+		defer cancel()
+		stopped := false
+		_, err := g.TrianglesFunc(qctx, q, func(a, b, c uint32) {
+			if stopped {
+				return
+			}
+			if !yield(Triangle{a, b, c}, nil) {
+				stopped = true
+				cancel()
+			}
+		})
+		if err != nil && !stopped {
+			yield(Triangle{}, err)
+		}
+	}
+}
+
+// CliquesFunc enumerates every k-clique (k >= 3) of the graph with the
+// Section 6 color-coding decomposition, in O(E^(k/2)/(M^(k/2−1)·B))
+// expected I/Os. emit receives each clique exactly once as ascending
+// vertex ids of the caller's id space; the slice is reused between calls
+// — copy it to retain. Emission order follows the decomposition, not any
+// global order. ctx is checked between color-tuple subproblems; it may
+// be nil. A nil emit counts only.
+func (g *Graph) CliquesFunc(ctx context.Context, k int, q Query, emit func(clique []uint32)) (Result, error) {
+	return g.subgraphQuery(ctx, q, emit, func(sg *Graph, wrapped subgraph.EmitK) (subgraph.Info, error) {
+		return subgraph.KClique(ctx, sg.sp, sg.cg, k, q.Seed, wrapped)
+	}, true)
+}
+
+// Cliques is CliquesFunc as a range-over-func iterator; the iteration
+// contract matches Triangles, and the yielded slice is reused between
+// elements — copy it to retain.
+func (g *Graph) Cliques(ctx context.Context, k int, q Query) iter.Seq2[[]uint32, error] {
+	return g.subgraphSeq(ctx, func(qctx context.Context, emit func([]uint32)) error {
+		_, err := g.CliquesFunc(qctx, k, q, emit)
+		return err
+	})
+}
+
+// MatchFunc enumerates every copy of the pattern in the graph — each set
+// of vertices carrying an H-isomorphic (not necessarily induced)
+// subgraph, exactly once per embedding modulo Aut(H) — with the Section 6
+// color-coding decomposition generalized to arbitrary connected patterns
+// on at most 8 vertices (Silvestri 2014). emit receives the embedding:
+// position i of the pattern maps to vertex assign[i] of the caller's id
+// space. The slice is reused between calls — copy it to retain. ctx is
+// checked between color-tuple subproblems; it may be nil. A nil emit
+// counts only.
+func (g *Graph) MatchFunc(ctx context.Context, p *Pattern, q Query, emit func(assign []uint32)) (Result, error) {
+	if p == nil || p.p == nil {
+		return Result{}, fmt.Errorf("repro: Match requires a non-nil pattern")
+	}
+	return g.subgraphQuery(ctx, q, emit, func(sg *Graph, wrapped subgraph.EmitK) (subgraph.Info, error) {
+		return p.p.Enumerate(ctx, sg.sp, sg.cg, q.Seed, wrapped)
+	}, false)
+}
+
+// Match is MatchFunc as a range-over-func iterator; the iteration
+// contract matches Triangles, and the yielded slice is reused between
+// elements — copy it to retain.
+func (g *Graph) Match(ctx context.Context, p *Pattern, q Query) iter.Seq2[[]uint32, error] {
+	return g.subgraphSeq(ctx, func(qctx context.Context, emit func([]uint32)) error {
+		_, err := g.MatchFunc(qctx, p, q, emit)
+		return err
+	})
+}
+
+// subgraphQuery is the shared engine room of Cliques and Match: lock,
+// run the Section 6 enumerator with ranks mapped back to input ids,
+// collect the worker-invariant statistics, reset the handle. sortIDs
+// orders each emitted vertex set ascending (cliques are unordered sets;
+// pattern embeddings are positional and must not be reordered).
+func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
+	run func(*Graph, subgraph.EmitK) (subgraph.Info, error), sortIDs bool) (Result, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return Result{}, ErrGraphClosed
+	}
+	defer g.resetQueryLocked()
+
+	res := g.baseResult()
+	var mapped []uint32
+	wrapped := func(vs []uint32) {
+		if emit == nil {
+			return
+		}
+		if cap(mapped) < len(vs) {
+			mapped = make([]uint32, len(vs))
+		}
+		mapped = mapped[:len(vs)]
+		for i, v := range vs {
+			mapped[i] = g.cg.RankToID[v]
+		}
+		if sortIDs {
+			sort.Slice(mapped, func(i, j int) bool { return mapped[i] < mapped[j] })
+		}
+		emit(mapped)
+	}
+	info, err := run(g, wrapped)
+	res.Matches = info.Cliques
+	res.Colors = info.Colors
+	res.Subproblems = info.Subproblems
+	res.MaxSubproblem = info.MaxSubproblem
+	if err == nil {
+		// As in TrianglesFunc: flush on success, report a cancelled run's
+		// statistics as accumulated.
+		g.sp.Flush()
+	}
+	res.Stats = toIOStats(g.sp.Stats())
+	g.deliverResult(q, res)
+	return res, err
+}
+
+// subgraphSeq adapts a callback-form subgraph query to an iterator,
+// translating an early break into a cancellation of the underlying run.
+func (g *Graph) subgraphSeq(ctx context.Context, run func(qctx context.Context, emit func([]uint32)) error) iter.Seq2[[]uint32, error] {
+	return func(yield func([]uint32, error) bool) {
+		qctx, cancel := cancelableCtx(ctx)
+		defer cancel()
+		stopped := false
+		err := run(qctx, func(vs []uint32) {
+			if stopped {
+				return
+			}
+			if !yield(vs, nil) {
+				stopped = true
+				cancel()
+			}
+		})
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
+}
+
+func (g *Graph) baseResult() Result {
+	return Result{
+		Vertices: g.cg.NumVertices,
+		Edges:    g.cg.Edges.Len(),
+		CanonIOs: g.canonIOs,
+		Workers:  1,
+	}
+}
+
+func (g *Graph) deliverResult(q Query, res Result) {
+	if q.Result != nil {
+		*q.Result = res
+	}
+}
+
+// cancelableCtx derives a cancellable context from ctx (which may be
+// nil), for iterator adapters that must stop the producer on break.
+func cancelableCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithCancel(ctx)
+}

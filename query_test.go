@@ -1,0 +1,311 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// waitGoroutines polls until the goroutine count returns to (near) the
+// baseline, failing the test if workers leaked.
+func waitGoroutines(t *testing.T, before int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("%s leaked goroutines: %d before, %d after", what, before, runtime.NumGoroutine())
+}
+
+// TestQueryCancellation: a cancelled context stops a long enumeration
+// early, returns the context's error, leaks no goroutines, and leaves the
+// handle able to answer subsequent queries with pristine statistics —
+// for both parallel-capable algorithms and the subgraph queries.
+func TestQueryCancellation(t *testing.T) {
+	// K120: 280840 triangles, far more than one merge batch, so a cancel
+	// fired early in the stream always precedes the natural end.
+	g, err := Build(FromSpec("clique:n=120"), Options{MemoryWords: 1 << 10, BlockWords: 1 << 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	full, err := g.TrianglesFunc(nil, Query{Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, alg := range []Algorithm{CacheAware, Deterministic} {
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		var partial uint64
+		res, err := g.TrianglesFunc(ctx, Query{Algorithm: alg, Seed: 3, Workers: 4}, func(_, _, _ uint32) {
+			partial++
+			if partial == 100 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: cancelled query returned %v, want context.Canceled", alg, err)
+		}
+		if partial == 0 || partial >= full.Triangles {
+			t.Errorf("%v: cancelled query emitted %d of %d triangles — not an early stop", alg, partial, full.Triangles)
+		}
+		if res.CanonIOs != full.CanonIOs {
+			t.Errorf("%v: cancelled Result lost CanonIOs: %d want %d", alg, res.CanonIOs, full.CanonIOs)
+		}
+		if res.Matches != partial || res.Triangles != partial {
+			t.Errorf("%v: cancelled Result reports %d/%d, want the partial count %d", alg, res.Matches, res.Triangles, partial)
+		}
+		if res.Stats.IOs() == 0 {
+			t.Errorf("%v: cancelled Result carries no accumulated statistics", alg)
+		}
+		waitGoroutines(t, before, alg.String())
+	}
+
+	// Cancellation before the run starts is honored by every algorithm,
+	// including the sequential ones.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	for _, alg := range Algorithms() {
+		if _, err := g.TrianglesFunc(pre, Query{Algorithm: alg, Seed: 3}, nil); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: pre-cancelled context returned %v, want context.Canceled", alg, err)
+		}
+	}
+
+	// Subgraph queries cancel between color-tuple subproblems.
+	cctx, ccancel := context.WithCancel(context.Background())
+	var cliques uint64
+	_, err = g.CliquesFunc(cctx, 4, Query{Seed: 3}, func([]uint32) {
+		cliques++
+		if cliques == 10 {
+			ccancel()
+		}
+	})
+	ccancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Cliques: cancelled query returned %v, want context.Canceled", err)
+	}
+
+	// The handle recovered: a full query after all the cancellations
+	// reproduces the original statistics exactly.
+	again, err := g.TrianglesFunc(nil, Query{Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Triangles != full.Triangles || again.Stats != full.Stats {
+		t.Errorf("post-cancel query drifted: (t=%d %+v) want (t=%d %+v)",
+			again.Triangles, again.Stats, full.Triangles, full.Stats)
+	}
+}
+
+// TestTrianglesIterator: the iterator form yields exactly the callback
+// form's stream, reports Result through Query.Result, and an early break
+// cancels the run without leaking workers.
+func TestTrianglesIterator(t *testing.T) {
+	g, err := Build(FromSpec("planted:n=200,m=1500,k=14"), Options{MemoryWords: 1 << 10, BlockWords: 1 << 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	var want []graph.Triple
+	wantRes, err := g.TrianglesFunc(nil, Query{Seed: 6}, func(a, b, c uint32) {
+		want = append(want, graph.Triple{V1: a, V2: b, V3: c})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var res Result
+	var got []graph.Triple
+	for tr, err := range g.Triangles(context.Background(), Query{Seed: 6, Result: &res}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, graph.Triple{V1: tr.A, V2: tr.B, V3: tr.C})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterator yielded %d triangles, callback emitted %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("iterator element %d = %v, callback emitted %v", i, got[i], want[i])
+		}
+	}
+	if res.Triangles != wantRes.Triangles || res.Stats != wantRes.Stats {
+		t.Errorf("Query.Result (t=%d %+v) differs from callback Result (t=%d %+v)",
+			res.Triangles, res.Stats, wantRes.Triangles, wantRes.Stats)
+	}
+
+	// Early break: the producer is cancelled, no error is yielded, no
+	// goroutines leak, and the handle still answers.
+	before := runtime.NumGoroutine()
+	n := 0
+	for _, err := range g.Triangles(context.Background(), Query{Seed: 6, Workers: 4}) {
+		if err != nil {
+			t.Fatalf("unexpected iterator error: %v", err)
+		}
+		if n++; n == 5 {
+			break
+		}
+	}
+	if n != 5 {
+		t.Fatalf("broke at %d elements, want 5", n)
+	}
+	waitGoroutines(t, before, "iterator break")
+	again, err := g.TrianglesFunc(nil, Query{Seed: 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Triangles != wantRes.Triangles || again.Stats != wantRes.Stats {
+		t.Error("query after iterator break drifted")
+	}
+}
+
+// TestCliquesAndMatch pins the public subgraph queries against the
+// triangle engines and each other: Cliques(3) = Match(triangle) =
+// Triangles count; Cliques(4) = Match(k4) count; clique emissions are
+// ascending input ids.
+func TestCliquesAndMatch(t *testing.T) {
+	g, err := Build(FromSpec("planted:n=250,m=1800,k=16"), Options{MemoryWords: 1 << 10, BlockWords: 1 << 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	tri, err := g.TrianglesFunc(nil, Query{Seed: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := g.CliquesFunc(nil, 3, Query{Seed: 4}, func(vs []uint32) {
+		if len(vs) != 3 || !(vs[0] < vs[1] && vs[1] < vs[2]) {
+			t.Fatalf("clique emission %v is not strictly ascending", vs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Matches != tri.Triangles {
+		t.Errorf("Cliques(3) found %d, Triangles found %d", c3.Matches, tri.Triangles)
+	}
+	m3, err := g.MatchFunc(nil, PatternTriangle, Query{Seed: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Matches != tri.Triangles {
+		t.Errorf("Match(triangle) found %d, Triangles found %d", m3.Matches, tri.Triangles)
+	}
+
+	c4, err := g.CliquesFunc(nil, 4, Query{Seed: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := g.MatchFunc(nil, PatternK4, Query{Seed: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.Matches != m4.Matches {
+		t.Errorf("Cliques(4) found %d, Match(k4) found %d", c4.Matches, m4.Matches)
+	}
+	if c4.Matches == 0 {
+		t.Error("planted K16 should contain 4-cliques")
+	}
+	if c4.MaxSubproblem == 0 || c4.Subproblems == 0 {
+		t.Errorf("decomposition stats missing: %+v", c4)
+	}
+
+	// Iterator forms agree with the callback counts and support break.
+	n := uint64(0)
+	for vs, err := range g.Cliques(context.Background(), 4, Query{Seed: 4}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) != 4 {
+			t.Fatalf("clique iterator yielded %d vertices", len(vs))
+		}
+		n++
+	}
+	if n != c4.Matches {
+		t.Errorf("clique iterator yielded %d, callback found %d", n, c4.Matches)
+	}
+	n = 0
+	for _, err := range g.Match(context.Background(), PatternDiamond, Query{Seed: 4}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n++; n == 3 {
+			break
+		}
+	}
+
+	// Error surface.
+	if _, err := g.CliquesFunc(nil, 2, Query{}, nil); err == nil {
+		t.Error("k=2 accepted")
+	}
+	if _, err := g.MatchFunc(nil, nil, Query{}, nil); err == nil {
+		t.Error("nil pattern accepted")
+	}
+}
+
+// TestPatternParseAndAccessors covers the public Pattern wrapper.
+func TestPatternParseAndAccessors(t *testing.T) {
+	for _, p := range Patterns() {
+		got, err := ParsePattern(p.Name())
+		if err != nil || got.Name() != p.Name() {
+			t.Errorf("round trip failed for %v: %v", p, err)
+		}
+		if p.K() < 2 || p.K() > 8 || p.Automorphisms() < 1 || len(p.Edges()) == 0 {
+			t.Errorf("degenerate pattern %v: k=%d |Aut|=%d edges=%d", p, p.K(), p.Automorphisms(), len(p.Edges()))
+		}
+	}
+	if _, err := ParsePattern("nonagon"); err == nil {
+		t.Error("bogus pattern accepted")
+	}
+	if _, err := NewPattern("disconnected", 4, [][2]int{{0, 1}, {2, 3}}); err == nil {
+		t.Error("disconnected pattern accepted")
+	}
+	five := MustPattern("c5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	if five.Automorphisms() != 10 {
+		t.Errorf("|Aut(C5)| = %d, want 10", five.Automorphisms())
+	}
+}
+
+// TestJoinWrapper covers the public join surface against the invariant
+// that reconstruction of a 5NF-decomposed relation is lossless.
+func TestJoinWrapper(t *testing.T) {
+	rows := []JoinRow{
+		{"ann", "acme", "vacuum"}, {"ann", "bolt", "kettle"},
+		{"bob", "bolt", "vacuum"}, {"eve", "cord", "toaster"},
+	}
+	dec := DecomposeJoinRows(rows)
+	if len(dec.SB) != 4 || len(dec.BT) != 4 || len(dec.ST) != 4 {
+		t.Fatalf("decomposition sizes %d/%d/%d", len(dec.SB), len(dec.BT), len(dec.ST))
+	}
+	for _, alg := range []Algorithm{CacheAware, CacheOblivious, Deterministic, HuTaoChung} {
+		got := map[JoinRow]bool{}
+		st, err := dec.Join(JoinOptions{Algorithm: alg, Seed: 3}, func(r JoinRow) { got[r] = true })
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if st.Rows < uint64(len(rows)) {
+			t.Errorf("%v: %d rows, want at least %d", alg, st.Rows, len(rows))
+		}
+		for _, r := range rows {
+			if !got[r] {
+				t.Errorf("%v: row %v lost in reconstruction", alg, r)
+			}
+		}
+	}
+	if _, err := dec.Join(JoinOptions{Algorithm: BlockNestedLoop}, nil); err == nil {
+		t.Error("baseline algorithm accepted by join")
+	}
+}

@@ -1,4 +1,4 @@
-// Package repro is an I/O-efficient triangle enumeration library: a
+// Package repro is an I/O-efficient subgraph enumeration library: a
 // production-grade reproduction of
 //
 //	Rasmus Pagh and Francesco Silvestri,
@@ -7,23 +7,49 @@
 // The library enumerates every triangle of an undirected graph using the
 // paper's I/O-optimal algorithms — O(E^1.5/(sqrt(M)·B)) block transfers on
 // a machine with M words of internal memory and blocks of B words —
-// together with the pre-existing baselines it improves on. The external
+// together with the pre-existing baselines it improves on, plus the
+// Section 6 extensions: k-cliques and arbitrary connected patterns on at
+// most 8 vertices, and the Section 1 join application. The external
 // memory model is simulated with exact I/O accounting (see package
 // internal/extmem), and can optionally be backed by a real file.
 //
-// Quick start:
+// # Graph handles and queries
+//
+// The paper's pipeline has two phases: an O(sort(E)) canonicalization
+// (Section 1.3) and the enumeration proper. Build pays the first phase
+// exactly once and returns a reusable *Graph handle; queries against the
+// handle — Triangles, Cliques, Match — run only the second:
+//
+//	g, err := repro.Build(repro.FromEdges(edges), repro.Options{})
+//	defer g.Close()
+//	for t, err := range g.Triangles(ctx, repro.Query{}) {
+//		...
+//	}
+//
+// Every query has a callback form (TrianglesFunc, CliquesFunc,
+// MatchFunc) returning a per-query Result, and a range-over-func
+// iterator form (Triangles, Cliques, Match) yielding (value, error);
+// breaking out of the iterator — or cancelling the context — stops the
+// enumeration cooperatively and drains the worker pool. Build ingests
+// an edge slice (FromEdges), the binary edge-file format (FromReader),
+// text edge lists (FromTextReader), or a generator spec (FromSpec).
+//
+// The one-shot helpers remain:
 //
 //	edges := [][2]uint32{{0, 1}, {1, 2}, {0, 2}}
 //	res, err := repro.Enumerate(edges, repro.Config{}, func(a, b, c uint32) {
 //		fmt.Println(a, b, c)
 //	})
 //
+// They are thin shims over Build + TrianglesFunc and re-pay the
+// canonicalization on every call.
+//
 // # Parallel execution
 //
 // The cache-aware algorithms decompose into independent subproblems — the
 // c³ color triples of Section 2 and the per-vertex high-degree passes of
-// Lemma 1 — and Enumerate runs them on a pool of Config.Workers workers
-// (default: one per CPU). The O(sort(E)) substrate underneath them — edge
+// Lemma 1 — and queries run them on a pool of Workers workers (default:
+// one per CPU). The O(sort(E)) substrate underneath them — edge
 // canonicalization and the color-pair ordering — runs on the same pool
 // via the parallel external-memory sorts of internal/emsort, whose output
 // is byte-identical to the sequential sorts. Each worker executes
@@ -39,292 +65,26 @@
 package repro
 
 import (
-	"encoding/binary"
 	"fmt"
-	"io"
-	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
-	"repro/internal/baseline"
-	"repro/internal/emsort"
-	"repro/internal/extmem"
 	"repro/internal/graph"
-	"repro/internal/trienum"
 )
 
-// Algorithm selects the enumeration algorithm.
-type Algorithm int
-
-const (
-	// CacheAware is the randomized cache-aware algorithm of Section 2:
-	// O(E^1.5/(sqrt(M)·B)) expected I/Os. The default.
-	CacheAware Algorithm = iota
-	// CacheOblivious is the randomized cache-oblivious algorithm of
-	// Section 3: same bound, without using M or B.
-	CacheOblivious
-	// Deterministic is the derandomized cache-aware algorithm of Section
-	// 4: same bound, worst case.
-	Deterministic
-	// HuTaoChung is the SIGMOD 2013 baseline: O(E²/(M·B)) I/Os.
-	HuTaoChung
-	// BlockNestedLoop is the classical join plan: O(E³/(M²·B)) I/Os.
-	BlockNestedLoop
-	// EdgeIterator is the Menegola-style baseline: O(E + E^1.5/B) I/Os.
-	EdgeIterator
-	// SortMerge is Dementiev's sort-based baseline: O(sort(E^1.5)) I/Os.
-	SortMerge
-)
-
-var algorithmNames = map[Algorithm]string{
-	CacheAware:      "cacheaware",
-	CacheOblivious:  "oblivious",
-	Deterministic:   "deterministic",
-	HuTaoChung:      "hutaochung",
-	BlockNestedLoop: "nestedloop",
-	EdgeIterator:    "edgeiterator",
-	SortMerge:       "sortmerge",
-}
-
-// String returns the canonical lower-case name.
-func (a Algorithm) String() string {
-	if s, ok := algorithmNames[a]; ok {
-		return s
-	}
-	return fmt.Sprintf("Algorithm(%d)", int(a))
-}
-
-// Algorithms lists every available algorithm.
-func Algorithms() []Algorithm {
-	return []Algorithm{CacheAware, CacheOblivious, Deterministic, HuTaoChung, BlockNestedLoop, EdgeIterator, SortMerge}
-}
-
-// ParseAlgorithm resolves a name produced by Algorithm.String.
-func ParseAlgorithm(s string) (Algorithm, error) {
-	for a, n := range algorithmNames {
-		if n == strings.ToLower(s) {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("repro: unknown algorithm %q (have %v)", s, Algorithms())
-}
-
-// Config describes the simulated external-memory machine and the
-// algorithm to run on it.
-type Config struct {
-	// Algorithm defaults to CacheAware.
-	Algorithm Algorithm
-	// MemoryWords is the internal memory size M in 64-bit words
-	// (default 1<<16). Must satisfy the tall-cache assumption
-	// MemoryWords >= BlockWords².
-	MemoryWords int
-	// BlockWords is the block size B in words (default 1<<7, i.e. 1 KiB
-	// blocks). Must be a power of two.
-	BlockWords int
-	// Seed drives the randomized algorithms; runs are deterministic in it.
-	Seed uint64
-	// Workers is the number of parallel workers solving independent
-	// subproblems — and running the parallel external-memory sorts that
-	// canonicalize the input and order the color-pair buckets — for the
-	// CacheAware and Deterministic algorithms (0 = runtime.GOMAXPROCS(0),
-	// i.e. one per CPU; the other algorithms are sequential and ignore
-	// it). The triangle stream, the triangle count, and the aggregated
-	// I/O statistics (including CanonIOs) are identical for every value
-	// of Workers — only wall-clock time changes.
-	Workers int
-	// FamilySize overrides the small-bias family size used by the
-	// Deterministic algorithm (0 = default).
-	FamilySize int
-	// DiskPath, when non-empty, backs the external memory with a real
-	// file at that path instead of process memory.
-	DiskPath string
-}
-
-func (c Config) withDefaults() Config {
-	if c.MemoryWords == 0 {
-		c.MemoryWords = 1 << 16
-	}
-	if c.BlockWords == 0 {
-		c.BlockWords = 1 << 7
-	}
-	return c
-}
-
-// IOStats reports the block-transfer counts of a run.
-type IOStats struct {
-	// BlockReads and BlockWrites are the I/Os the paper's bounds count.
-	BlockReads  uint64
-	BlockWrites uint64
-	// WordReads and WordWrites measure internal work (free in the model).
-	WordReads  uint64
-	WordWrites uint64
-	// PeakLeaseWords is the high-water mark of internal memory used for
-	// native algorithm state.
-	PeakLeaseWords int
-	// PeakDiskWords is the high-water mark of external memory used.
-	PeakDiskWords int64
-}
-
-// IOs returns BlockReads + BlockWrites.
-func (s IOStats) IOs() uint64 { return s.BlockReads + s.BlockWrites }
-
-func toIOStats(st extmem.Stats) IOStats {
-	return IOStats{
-		BlockReads:     st.BlockReads,
-		BlockWrites:    st.BlockWrites,
-		WordReads:      st.WordReads,
-		WordWrites:     st.WordWrites,
-		PeakLeaseWords: st.PeakLease,
-		PeakDiskWords:  st.PeakAlloc,
-	}
-}
-
-// Result summarizes an enumeration run.
-type Result struct {
-	// Triangles is the number of triangles emitted.
-	Triangles uint64
-	// Vertices and Edges describe the graph after deduplication.
-	Vertices int
-	Edges    int64
-	// Stats covers the enumeration proper (canonicalization excluded).
-	Stats IOStats
-	// CanonIOs is the I/O cost of converting the input to the canonical
-	// degree-ordered representation (O(sort(E)), Section 1.3).
-	CanonIOs uint64
-	// Colors, HighDegVertices, Subproblems and X expose algorithm
-	// internals for experiments; see trienum.Info.
-	Colors          int
-	HighDegVertices int
-	Subproblems     int
-	X               uint64
-	// Workers is the resolved worker cap of the run: Config.Workers after
-	// defaulting, or 1 for the sequential algorithms. The engine engages
-	// at most one worker per subproblem, so fewer workers (len of
-	// WorkerStats) may actually run on small inputs.
-	Workers int
-	// WorkerStats breaks the parallel phases down per worker. Which
-	// worker solved which subproblem depends on scheduling, so individual
-	// entries vary run to run; their sum does not, and is already
-	// included in Stats.
-	WorkerStats []IOStats
-}
-
-// Enumerate runs the configured algorithm over the given undirected edge
-// list (self-loops and duplicates are ignored) and calls emit exactly once
-// per triangle. Vertices are reported with the input's ids, sorted so that
-// a < b < c. A nil emit counts only.
-func Enumerate(edges [][2]uint32, cfg Config, emit func(a, b, c uint32)) (Result, error) {
-	var res Result
-	cfg = cfg.withDefaults()
-	if cfg.BlockWords <= 0 || cfg.BlockWords&(cfg.BlockWords-1) != 0 {
-		return res, fmt.Errorf("repro: BlockWords must be a positive power of two, got %d", cfg.BlockWords)
-	}
-	if cfg.MemoryWords < cfg.BlockWords*cfg.BlockWords {
-		return res, fmt.Errorf("repro: tall-cache assumption requires MemoryWords >= BlockWords² (%d < %d)",
-			cfg.MemoryWords, cfg.BlockWords*cfg.BlockWords)
-	}
-
-	var sp *extmem.Space
-	emCfg := extmem.Config{M: cfg.MemoryWords, B: cfg.BlockWords}
-	if cfg.DiskPath != "" {
-		var err error
-		sp, err = extmem.NewFileSpace(emCfg, cfg.DiskPath)
-		if err != nil {
-			return res, err
-		}
-		defer sp.Close()
-	} else {
-		sp = extmem.NewSpace(emCfg)
-	}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	exec := trienum.Exec{Workers: workers}
-	parallelAlgo := cfg.Algorithm == CacheAware || cfg.Algorithm == Deterministic
-
-	var el graph.EdgeList
-	for _, e := range edges {
-		el.Add(e[0], e[1])
-	}
-	var g graph.Canonical
-	var canonWS []extmem.Stats
-	if parallelAlgo {
-		// The O(sort(E)) canonicalization sorts run on the parallel emsort
-		// engine at every worker count (including 1), so CanonIOs is
-		// invariant in Workers; the sort workers' I/Os are part of the
-		// canonicalization cost, not of Stats/WorkerStats.
-		sorter := func(ext extmem.Extent, stride int, key emsort.Key) {
-			canonWS = extmem.AddStatsVec(canonWS, emsort.ParallelSortRecords(ext, stride, key, workers))
-		}
-		g = graph.Canonicalize(sp, el.Write(sp), sorter)
-	} else {
-		g = graph.CanonicalizeList(sp, el)
-	}
-	res.Vertices = g.NumVertices
-	res.Edges = g.Edges.Len()
-	canonStats := sp.Stats()
-	for _, w := range canonWS {
-		canonStats.Add(w)
-	}
-	res.CanonIOs = canonStats.IOs()
-	sp.DropCache()
-	sp.ResetStats()
-
-	wrapped := func(a, b, c uint32) {
-		if emit != nil {
-			t := graph.MakeTriple(g.RankToID[a], g.RankToID[b], g.RankToID[c])
-			emit(t.V1, t.V2, t.V3)
-		}
-	}
-
-	var info trienum.Info
-	var workerStats []extmem.Stats
-	res.Workers = 1
-	switch cfg.Algorithm {
-	case CacheAware:
-		info, workerStats = trienum.CacheAwareParallel(sp, g, cfg.Seed, exec, wrapped)
-		res.Workers = workers
-	case CacheOblivious:
-		info = trienum.Oblivious(sp, g, cfg.Seed, wrapped)
-	case Deterministic:
-		var err error
-		info, workerStats, err = trienum.DeterministicParallel(sp, g, cfg.FamilySize, exec, wrapped)
-		if err != nil {
-			return res, err
-		}
-		res.Workers = workers
-	case HuTaoChung:
-		info = trienum.HuTaoChung(sp, g, wrapped)
-	case BlockNestedLoop:
-		info = baseline.BlockNestedLoop(sp, g, wrapped)
-	case EdgeIterator:
-		info = baseline.EdgeIterator(sp, g, wrapped)
-	case SortMerge:
-		info = trienum.Dementiev(sp, g, wrapped)
-	default:
-		return res, fmt.Errorf("repro: unknown algorithm %v", cfg.Algorithm)
-	}
-	sp.Flush()
-
-	st := sp.Stats()
-	for _, w := range workerStats {
-		st.Add(w)
-		res.WorkerStats = append(res.WorkerStats, toIOStats(w))
-	}
-	res.Stats = toIOStats(st)
-	res.Triangles = info.Triangles
-	res.Colors = info.Colors
-	res.HighDegVertices = info.HighDegVertices
-	res.Subproblems = info.Subproblems
-	res.X = info.X
-	return res, nil
-}
-
-// Count is Enumerate without an emit callback.
-func Count(edges [][2]uint32, cfg Config) (Result, error) {
-	return Enumerate(edges, cfg, nil)
+// generatorParams types the parameter keys each generator accepts:
+// 'i' for integers, 'f' for floats. Generate rejects unknown keys and
+// malformed values instead of silently substituting zero.
+var generatorParams = map[string]map[string]byte{
+	"clique":    {"n": 'i'},
+	"gnm":       {"n": 'i', "m": 'i'},
+	"powerlaw":  {"n": 'i', "m": 'i', "beta": 'f'},
+	"sells":     {"ns": 'i', "nb": 'i', "nt": 'i', "per": 'i', "avail": 'f'},
+	"bipartite": {"n1": 'i', "n2": 'i', "m": 'i'},
+	"grid":      {"r": 'i', "c": 'i'},
+	"planted":   {"n": 'i', "m": 'i', "k": 'i'},
+	"rmat":      {"scale": 'i', "m": 'i'},
 }
 
 // Generate builds a workload graph from a spec string such as
@@ -338,23 +98,51 @@ func Count(edges [][2]uint32, cfg Config) (Result, error) {
 //	planted:n=500,m=2000,k=20
 //	rmat:scale=10,m=8000
 //
-// Randomized generators are deterministic in seed.
+// Unknown parameter keys and malformed values are errors. Randomized
+// generators are deterministic in seed.
 func Generate(spec string, seed uint64) ([][2]uint32, error) {
 	kind, params, err := parseSpec(spec)
 	if err != nil {
 		return nil, err
 	}
+	known, ok := generatorParams[kind]
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown generator %q", kind)
+	}
+	ints := map[string]int{}
+	floats := map[string]float64{}
+	for k, v := range params {
+		switch known[k] {
+		case 'i':
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("repro: generator %q: parameter %s=%q is not an integer", kind, k, v)
+			}
+			ints[k] = n
+		case 'f':
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("repro: generator %q: parameter %s=%q is not a number", kind, k, v)
+			}
+			floats[k] = f
+		default:
+			keys := make([]string, 0, len(known))
+			for kk := range known {
+				keys = append(keys, kk)
+			}
+			sort.Strings(keys)
+			return nil, fmt.Errorf("repro: generator %q: unknown parameter %q (have %v)", kind, k, keys)
+		}
+	}
 	geti := func(key string, def int) int {
-		if v, ok := params[key]; ok {
-			n, _ := strconv.Atoi(v)
-			return n
+		if v, ok := ints[key]; ok {
+			return v
 		}
 		return def
 	}
 	getf := func(key string, def float64) float64 {
-		if v, ok := params[key]; ok {
-			f, _ := strconv.ParseFloat(v, 64)
-			return f
+		if v, ok := floats[key]; ok {
+			return v
 		}
 		return def
 	}
@@ -376,8 +164,6 @@ func Generate(spec string, seed uint64) ([][2]uint32, error) {
 		el = graph.PlantedClique(geti("n", 500), geti("m", 2000), geti("k", 20), seed)
 	case "rmat":
 		el = graph.RMAT(geti("scale", 10), geti("m", 8000), seed)
-	default:
-		return nil, fmt.Errorf("repro: unknown generator %q", kind)
 	}
 	out := make([][2]uint32, 0, len(el.Edges))
 	for _, e := range el.Edges {
@@ -407,49 +193,4 @@ func parseSpec(spec string) (kind string, params map[string]string, err error) {
 		params[strings.TrimSpace(strings.ToLower(k))] = strings.TrimSpace(v)
 	}
 	return kind, params, nil
-}
-
-const edgeFileMagic = uint64(0x5452_4947_5241_5048) // "TRIGRAPH"
-
-// WriteEdgeFile stores an edge list in the library's simple binary format
-// (little-endian: magic, count, then u32 pairs).
-func WriteEdgeFile(w io.Writer, edges [][2]uint32) error {
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:], edgeFileMagic)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(edges)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	buf := make([]byte, 8*len(edges))
-	for i, e := range edges {
-		binary.LittleEndian.PutUint32(buf[8*i:], e[0])
-		binary.LittleEndian.PutUint32(buf[8*i+4:], e[1])
-	}
-	_, err := w.Write(buf)
-	return err
-}
-
-// ReadEdgeFile loads an edge list written by WriteEdgeFile.
-func ReadEdgeFile(r io.Reader) ([][2]uint32, error) {
-	var hdr [16]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("repro: short edge file header: %w", err)
-	}
-	if binary.LittleEndian.Uint64(hdr[0:]) != edgeFileMagic {
-		return nil, fmt.Errorf("repro: not an edge file (bad magic)")
-	}
-	n := binary.LittleEndian.Uint64(hdr[8:])
-	if n > 1<<32 {
-		return nil, fmt.Errorf("repro: implausible edge count %d", n)
-	}
-	buf := make([]byte, 8*n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("repro: short edge file body: %w", err)
-	}
-	edges := make([][2]uint32, n)
-	for i := range edges {
-		edges[i][0] = binary.LittleEndian.Uint32(buf[8*i:])
-		edges[i][1] = binary.LittleEndian.Uint32(buf[8*i+4:])
-	}
-	return edges, nil
 }
