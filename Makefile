@@ -21,10 +21,10 @@ test:
 examples:
 	for d in examples/*/; do echo "=== go run ./$$d"; $(GO) run ./$$d || exit 1; done
 
-# Race-detect the parallel execution engine, its memory model, and the
-# parallel sort substrate.
+# Race-detect the parallel execution engine, its memory model, the
+# parallel sort substrate, and the concurrent-query public surface.
 race:
-	$(GO) test -race ./internal/trienum ./internal/extmem ./internal/emsort
+	$(GO) test -race . ./internal/trienum ./internal/extmem ./internal/emsort
 
 # One iteration of every benchmark in every package (the CI smoke); use
 # BENCHTIME=5x etc. for real measurements.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
+	"sync"
 	"testing"
 
 	"repro/internal/emsort"
@@ -383,6 +384,72 @@ func BenchmarkE16ParallelPipeline(b *testing.B) {
 			}
 			b.ReportMetric(float64(last.Stats.IOs()), "IOs")
 			b.ReportMetric(float64(last.CanonIOs), "canonIOs")
+		})
+	}
+}
+
+// BenchmarkE17ConcurrentQueries — per-query sessions: query throughput on
+// one shared handle as the number of querying goroutines grows. Each op
+// is one full triangle query at Workers=1, so the parallelism measured is
+// across queries, not inside them; ns/op shrinking with the goroutine
+// count is the session model's win. The per-query block I/Os are reported
+// as a metric (and asserted equal across all goroutines) to witness that
+// concurrency changes wall-clock only — every session runs the identical
+// cold machine.
+func BenchmarkE17ConcurrentQueries(b *testing.B) {
+	edges, err := Generate("gnm:n=3000,m=18000", 29)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := Build(FromEdges(edges), Options{MemoryWords: 1 << 12, BlockWords: 1 << 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	for _, n := range benchWorkerCounts(1, 2, 4, runtime.NumCPU()) {
+		b.Run(fmt.Sprintf("goroutines=%d", n), func(b *testing.B) {
+			perQuery := make([]uint64, n)
+			jobs := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < n; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					failed := false
+					// Keep draining jobs after a failure so the b.N send
+					// loop never blocks on a dead pool.
+					for range jobs {
+						if failed {
+							continue
+						}
+						res, err := g.TrianglesFunc(nil, Query{Seed: 5, Workers: 1}, nil)
+						if err != nil {
+							b.Error(err)
+							failed = true
+							continue
+						}
+						perQuery[w] = res.Stats.IOs()
+					}
+				}(w)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jobs <- struct{}{}
+			}
+			close(jobs)
+			wg.Wait()
+			var ios uint64
+			for _, q := range perQuery {
+				if q == 0 {
+					continue // goroutine never got a job (b.N < n)
+				}
+				if ios == 0 {
+					ios = q
+				} else if q != ios {
+					b.Fatalf("per-query IOs drifted under concurrency: %d vs %d", q, ios)
+				}
+			}
+			b.ReportMetric(float64(ios), "IOs")
 		})
 	}
 }

@@ -6,8 +6,11 @@ package repro
 // Result fields — including the per-algorithm CanonIOs accounting, which
 // the shims reproduce by selecting the historical canonicalization path
 // (parallel sorts for the parallel-capable algorithms, sequential sorts
-// for the rest). One-shot callers pay the canonicalization on every
-// call; callers issuing repeated queries should Build once instead.
+// for the rest). Each call builds a throwaway handle and runs one query
+// session on it, so concurrent Enumerate/Count calls are as independent
+// as concurrent queries of one handle. One-shot callers pay the
+// canonicalization on every call; callers issuing repeated queries
+// should Build once instead.
 
 // Enumerate runs the configured algorithm over the given undirected edge
 // list (self-loops and duplicates are ignored) and calls emit exactly once

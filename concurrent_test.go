@@ -1,0 +1,347 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// querySpec is one query of the concurrency suite: run executes it
+// against the handle and returns the emission transcript plus the Result.
+type querySpec struct {
+	name string
+	run  func(g *Graph) (string, Result, error)
+}
+
+func trianglesSpec(name string, q Query) querySpec {
+	return querySpec{name: name, run: func(g *Graph) (string, Result, error) {
+		var b strings.Builder
+		res, err := g.TrianglesFunc(nil, q, func(a, x, c uint32) {
+			fmt.Fprintf(&b, "%d,%d,%d;", a, x, c)
+		})
+		return b.String(), res, err
+	}}
+}
+
+// concurrencySuite is the query mix of the stress test: both
+// parallel-capable algorithms at Workers 1 and 4, the sequential
+// algorithms, and the two subgraph query kinds — every engine the handle
+// can drive, all against one core.
+func concurrencySuite() []querySpec {
+	specs := []querySpec{
+		trianglesSpec("cacheaware/w1", Query{Seed: 9, Workers: 1}),
+		trianglesSpec("cacheaware/w4", Query{Seed: 9, Workers: 4}),
+		trianglesSpec("deterministic/w1", Query{Algorithm: Deterministic, Workers: 1}),
+		trianglesSpec("deterministic/w4", Query{Algorithm: Deterministic, Workers: 4}),
+		trianglesSpec("oblivious", Query{Algorithm: CacheOblivious, Seed: 4}),
+		trianglesSpec("hutaochung", Query{Algorithm: HuTaoChung}),
+		trianglesSpec("sortmerge", Query{Algorithm: SortMerge}),
+		{name: "cliques4", run: func(g *Graph) (string, Result, error) {
+			var b strings.Builder
+			res, err := g.CliquesFunc(nil, 4, Query{Seed: 3}, func(c []uint32) {
+				fmt.Fprintf(&b, "%v;", c)
+			})
+			return b.String(), res, err
+		}},
+		{name: "match/diamond", run: func(g *Graph) (string, Result, error) {
+			var b strings.Builder
+			res, err := g.MatchFunc(nil, PatternDiamond, Query{Seed: 11}, func(m []uint32) {
+				fmt.Fprintf(&b, "%v;", m)
+			})
+			return b.String(), res, err
+		}},
+	}
+	return specs
+}
+
+// normalizeResult splits a Result into its deterministic part and the
+// aggregate of the scheduling-dependent per-worker vector (individual
+// WorkerStats entries vary run to run by documented contract; their sum
+// does not).
+func normalizeResult(r Result) (Result, IOStats) {
+	var sum IOStats
+	for _, w := range r.WorkerStats {
+		sum.BlockReads += w.BlockReads
+		sum.BlockWrites += w.BlockWrites
+		sum.WordReads += w.WordReads
+		sum.WordWrites += w.WordWrites
+	}
+	r.WorkerStats = nil
+	return r, sum
+}
+
+// TestConcurrentQueriesByteIdentical is the stress test of the per-query
+// session model: every query of the suite, run from its own goroutine
+// concurrently with all the others (several rounds each), must reproduce
+// the transcript and Result of its serialized run exactly — emission
+// order within the query, I/O stats, CanonIOs — at Workers 1 and 4 alike.
+func TestConcurrentQueriesByteIdentical(t *testing.T) {
+	g, err := Build(FromSpec("planted:n=300,m=2400,k=15"), Options{
+		MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	specs := concurrencySuite()
+	type baseline struct {
+		transcript string
+		res        Result
+		workerSum  IOStats
+	}
+	serial := make([]baseline, len(specs))
+	for i, s := range specs {
+		tr, res, err := s.run(g)
+		if err != nil {
+			t.Fatalf("%s: serialized run: %v", s.name, err)
+		}
+		nres, sum := normalizeResult(res)
+		serial[i] = baseline{transcript: tr, res: nres, workerSum: sum}
+		if res.Matches == 0 {
+			t.Fatalf("%s: degenerate serialized run: %+v", s.name, res)
+		}
+	}
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s querySpec) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				tr, res, err := s.run(g)
+				if err != nil {
+					t.Errorf("%s: concurrent round %d: %v", s.name, r, err)
+					return
+				}
+				nres, sum := normalizeResult(res)
+				if tr != serial[i].transcript {
+					t.Errorf("%s: concurrent round %d: emission transcript differs from serialized run", s.name, r)
+				}
+				if !reflect.DeepEqual(nres, serial[i].res) {
+					t.Errorf("%s: concurrent round %d: Result differs:\nserial:     %+v\nconcurrent: %+v",
+						s.name, r, serial[i].res, nres)
+				}
+				if sum != serial[i].workerSum {
+					t.Errorf("%s: concurrent round %d: summed WorkerStats differ: %+v want %+v",
+						s.name, r, sum, serial[i].workerSum)
+				}
+			}
+		}(i, s)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentDiskBackedSessions: a disk-backed handle serves
+// concurrent queries (sessions spill scratch to per-session temp files),
+// reports the identical statistics of a memory-backed handle, and leaves
+// no scratch files behind.
+func TestConcurrentDiskBackedSessions(t *testing.T) {
+	opts := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 5}
+	mem, err := Build(FromSpec("gnm:n=200,m=2000"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	want, err := mem.TrianglesFunc(nil, Query{Seed: 1, Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	opts.DiskPath = filepath.Join(dir, "em.bin")
+	disk, err := Build(FromSpec("gnm:n=200,m=2000"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := disk.TrianglesFunc(nil, Query{Seed: 1, Workers: 2}, nil)
+			if err != nil {
+				t.Errorf("disk query: %v", err)
+				return
+			}
+			nres, _ := normalizeResult(res)
+			nwant, _ := normalizeResult(want)
+			if !reflect.DeepEqual(nres, nwant) {
+				t.Errorf("disk session Result %+v differs from memory %+v", nres, nwant)
+			}
+		}()
+	}
+	wg.Wait()
+
+	leftovers, err := filepath.Glob(opts.DiskPath + ".q*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) > 0 {
+		t.Errorf("session scratch files not removed: %v", leftovers)
+	}
+}
+
+// TestNestedQueryFromEmit: emit callbacks and iterator bodies may issue
+// follow-up queries against the same handle — the serialization lock that
+// used to deadlock this pattern is gone.
+func TestNestedQueryFromEmit(t *testing.T) {
+	g, err := Build(FromSpec("planted:n=120,m=900,k=10"), Options{
+		MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+
+		// Callback form: the first triangle triggers a nested clique query.
+		nested := false
+		var nestedRes Result
+		if _, err := g.TrianglesFunc(nil, Query{Seed: 1}, func(_, _, _ uint32) {
+			if nested {
+				return
+			}
+			nested = true
+			res, err := g.CliquesFunc(nil, 4, Query{Seed: 3}, nil)
+			if err != nil {
+				t.Errorf("nested query from emit: %v", err)
+			}
+			nestedRes = res
+		}); err != nil {
+			t.Errorf("outer query: %v", err)
+		}
+		if !nested || nestedRes.Matches == 0 {
+			t.Errorf("nested query did not run (ran=%v, matches=%d)", nested, nestedRes.Matches)
+		}
+
+		// Iterator form: the loop body issues a query mid-iteration.
+		count := 0
+		for _, err := range g.Triangles(context.Background(), Query{Seed: 1}) {
+			if err != nil {
+				t.Errorf("iterator: %v", err)
+				break
+			}
+			if count == 0 {
+				if _, err := g.TrianglesFunc(nil, Query{Algorithm: HuTaoChung}, nil); err != nil {
+					t.Errorf("nested query from iterator body: %v", err)
+				}
+			}
+			count++
+			if count == 3 {
+				break
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("nested query deadlocked")
+	}
+}
+
+// TestCloseWaitsForActiveQueries pins the refcounted Close semantics:
+// Close blocks until in-flight queries drain (the gated emit holds the
+// query open while Close is observed not to return), the in-flight query
+// completes successfully, and queries issued after Close fail with
+// ErrGraphClosed.
+func TestCloseWaitsForActiveQueries(t *testing.T) {
+	g, err := Build(FromSpec("clique:n=40"), Options{MemoryWords: 1 << 10, BlockWords: 1 << 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	queryDone := make(chan Result, 1)
+	go func() {
+		first := true
+		res, err := g.TrianglesFunc(nil, Query{Seed: 1}, func(_, _, _ uint32) {
+			if first {
+				first = false
+				close(started)
+				<-gate
+			}
+		})
+		if err != nil {
+			t.Errorf("in-flight query failed: %v", err)
+		}
+		queryDone <- res
+	}()
+
+	<-started
+	closeDone := make(chan struct{})
+	go func() {
+		if err := g.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		close(closeDone)
+	}()
+
+	// Close must not return while the gated query holds its session.
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while a query was active")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(gate)
+	select {
+	case <-closeDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Close did not return after the query drained")
+	}
+	res := <-queryDone
+	if res.Triangles == 0 {
+		t.Errorf("in-flight query lost its result across Close: %+v", res)
+	}
+
+	if _, err := g.TrianglesFunc(nil, Query{}, nil); !errors.Is(err, ErrGraphClosed) {
+		t.Errorf("query after Close: %v, want ErrGraphClosed", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestAccessorsAfterClose pins the documented post-Close behavior of the
+// canonical-metadata accessors: they keep answering with their build-time
+// values.
+func TestAccessorsAfterClose(t *testing.T) {
+	opts := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 3}
+	g, err := Build(FromSpec("gnm:n=100,m=600"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, ne, cio, o := g.NumVertices(), g.NumEdges(), g.CanonIOs(), g.Options()
+	if nv == 0 || ne == 0 || cio == 0 {
+		t.Fatalf("degenerate handle: V=%d E=%d canonIOs=%d", nv, ne, cio)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumVertices(); got != nv {
+		t.Errorf("NumVertices after Close: %d, want %d", got, nv)
+	}
+	if got := g.NumEdges(); got != ne {
+		t.Errorf("NumEdges after Close: %d, want %d", got, ne)
+	}
+	if got := g.CanonIOs(); got != cio {
+		t.Errorf("CanonIOs after Close: %d, want %d", got, cio)
+	}
+	if got := g.Options(); got != o {
+		t.Errorf("Options after Close: %+v, want %+v", got, o)
+	}
+}

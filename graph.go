@@ -2,6 +2,7 @@ package repro
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
@@ -52,36 +53,60 @@ func FromTextReader(r io.Reader) Source { return textReaderSource{r} }
 // "gnm:n=1000,m=8000" (see Generate); the generator seed is Options.Seed.
 func FromSpec(spec string) Source { return specSource(spec) }
 
-// Graph is a reusable handle to a canonicalized graph resident in a
+// Graph is a reusable handle to a canonicalized graph frozen in a
 // simulated (or file-backed) external memory. Build pays the O(sort(E))
-// canonicalization of Section 1.3 exactly once; every query — Triangles,
-// Cliques, Match — then runs against the retained degree-ordered
-// representation, so N queries cost one canonicalization plus N
-// enumerations. Queries serialize on an internal lock (the simulated
-// machine is single-socket by construction: one coordinator cache;
-// worker parallelism lives inside a query, not across queries), are
-// independently cancellable through their context, and leave the handle
-// in a pristine cold-cache state, so a query's I/O statistics depend only
-// on its Query value — never on the queries that ran before it. Because
-// of that lock, emit callbacks and iterator loop bodies — which run
-// while their query holds it — must not issue further queries against,
-// or Close, the same handle; collect what a follow-up query needs and
-// run it after the current one returns.
+// canonicalization of Section 1.3 exactly once and freezes the result
+// into an immutable read-only core; every query — Triangles, Cliques,
+// Match — then runs on its own session: a private M-word cache, private
+// statistics, and a private scratch allocator layered over the shared
+// core (the PEM model of P processors with private internal memories over
+// a shared disk, one level up from the worker shards inside a query).
+//
+// Because sessions share nothing mutable, any number of queries —
+// different patterns, k's, seeds, contexts — may run concurrently on one
+// handle from different goroutines, and each reports exactly the Result
+// it would report run alone: every session starts from the identical
+// cold machine state, so emission order within a query, its I/O
+// statistics, and CanonIOs are all byte-identical to a serialized run.
+// Emit callbacks and iterator loop bodies run on their query's calling
+// goroutine and may issue follow-up queries against the same handle;
+// the one thing they must not do is Close it (Close waits for active
+// queries, so a Close from inside one deadlocks).
+//
+// The handle's only lock is a close-guard: Close marks the handle closed
+// (new queries fail with ErrGraphClosed), waits for active queries to
+// drain, and releases the core.
 type Graph struct {
-	mu       sync.Mutex
-	sp       *extmem.Space
-	cg       graph.Canonical
 	opts     Options // defaulted
 	canonIOs uint64
-	mark     int64 // allocator watermark after canonicalization
-	closed   bool
+
+	// The immutable canonical core: the external-memory image at the
+	// allocation watermark after canonicalization, plus the (space-
+	// independent) canonical metadata. Sessions rebind the extents into
+	// their own Space; rankToID is shared read-only.
+	core        extmem.Core
+	coreWords   int64 // block-rounded watermark: session scratch starts here
+	coreFile    *extmem.FileCore
+	numVertices int
+	edgesBase   int64
+	edgesLen    int64
+	degBase     int64
+	degLen      int64
+	rankToID    []uint32
+
+	mu     sync.Mutex
+	drain  sync.Cond // signalled when active drops to zero
+	active int       // live query sessions
+	seq    uint64    // per-session scratch-file suffix
+	closed bool
 }
 
 // Build ingests edges from src, canonicalizes them once — O(sort(E))
 // I/Os, run on the parallel external-memory sorts at Options.Workers
-// unless Options.SequentialCanon is set — and returns the reusable
-// handle. Graphs with Options.DiskPath set hold an open file; Close the
-// handle to release it.
+// unless Options.SequentialCanon is set — and freezes the canonical
+// region into the handle's immutable core. Graphs with Options.DiskPath
+// set leave the canonical image in the file at that path and serve
+// queries from it; Close the handle to release it.
 func Build(src Source, opts Options) (*Graph, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -126,16 +151,43 @@ func Build(src Source, opts Options) (*Graph, error) {
 	for _, w := range canonWS {
 		canonStats.Add(w)
 	}
-	sp.DropCache()
-	sp.ResetStats()
 
-	return &Graph{
-		sp:       sp,
-		cg:       cg,
-		opts:     opts,
-		canonIOs: canonStats.IOs(),
-		mark:     sp.Mark(),
-	}, nil
+	g := &Graph{
+		opts:        opts,
+		canonIOs:    canonStats.IOs(),
+		numVertices: cg.NumVertices,
+		edgesBase:   cg.Edges.Base(),
+		edgesLen:    cg.Edges.Len(),
+		degBase:     cg.Degrees.Base(),
+		degLen:      cg.Degrees.Len(),
+		rankToID:    cg.RankToID,
+	}
+	g.drain.L = &g.mu
+
+	// Freeze the canonicalized region [0, mark) into the immutable core.
+	// Memory-backed graphs take the one Snapshot here (writing back the
+	// build cache's dirty blocks; those write-backs are part of the build,
+	// not of any query, and canonStats is already captured). Disk-backed
+	// graphs flush the image to the backing file instead and serve the
+	// core from it read-only, so the frozen graph does not have to fit in
+	// process memory.
+	mark := sp.Mark()
+	g.coreWords = (mark + int64(opts.BlockWords) - 1) &^ int64(opts.BlockWords-1)
+	if opts.DiskPath != "" {
+		sp.Flush()
+		if err := sp.Close(); err != nil {
+			return nil, err
+		}
+		fc, err := extmem.NewFileCore(opts.DiskPath)
+		if err != nil {
+			return nil, err
+		}
+		g.core, g.coreFile = fc, fc
+	} else {
+		g.core = extmem.WordsCore(sp.Snapshot(sp.ExtentAt(0, mark)))
+		sp.Close()
+	}
+	return g, nil
 }
 
 func (o Options) workers() int {
@@ -145,38 +197,104 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
-// Close releases the handle's external memory (closing the backing file
-// for disk-backed graphs). Closing an already-closed Graph is a no-op;
-// queries against a closed Graph return ErrGraphClosed.
+// session is the per-query execution state: a private Space layered over
+// the handle's immutable core, with the canonical extents rebound into
+// it. Acquired at query start, closed (scratch file removed, refcount
+// dropped) when the query returns.
+type session struct {
+	g  *Graph
+	sp *extmem.Space
+	cg graph.Canonical
+}
+
+// acquire opens a new session against the handle, failing with
+// ErrGraphClosed after Close.
+func (g *Graph) acquire() (*session, error) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, ErrGraphClosed
+	}
+	g.active++
+	g.seq++
+	scratch := ""
+	if g.opts.DiskPath != "" {
+		scratch = fmt.Sprintf("%s.q%d", g.opts.DiskPath, g.seq)
+	}
+	core := g.core
+	g.mu.Unlock()
+
+	cfg := extmem.Config{M: g.opts.MemoryWords, B: g.opts.BlockWords}
+	sp, err := extmem.NewSessionSpace(cfg, core, g.coreWords, scratch)
+	if err != nil {
+		g.releaseRef()
+		return nil, err
+	}
+	return &session{
+		g:  g,
+		sp: sp,
+		cg: graph.Canonical{
+			Edges:       sp.ExtentAt(g.edgesBase, g.edgesLen),
+			NumVertices: g.numVertices,
+			Degrees:     sp.ExtentAt(g.degBase, g.degLen),
+			RankToID:    g.rankToID,
+		},
+	}, nil
+}
+
+// close releases the session's private machine and drops the handle
+// reference, waking a pending Close when the last session drains.
+func (s *session) close() {
+	s.sp.Close()
+	s.g.releaseRef()
+}
+
+func (g *Graph) releaseRef() {
+	g.mu.Lock()
+	g.active--
+	if g.active == 0 {
+		g.drain.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Close marks the handle closed — queries issued from now on return
+// ErrGraphClosed — waits for the active queries to finish, and releases
+// the core (closing the canonical-image file of disk-backed graphs).
+// Closing an already-closed Graph is a no-op. Close must not be called
+// from inside an emit callback or iterator body of this handle: it would
+// wait for the very query it is running under.
+//
+// The handle's canonical metadata outlives Close: NumVertices, NumEdges,
+// CanonIOs, and Options keep answering with their build-time values.
 func (g *Graph) Close() error {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
-		return nil
-	}
 	g.closed = true
-	return g.sp.Close()
+	for g.active > 0 {
+		g.drain.Wait()
+	}
+	fc := g.coreFile
+	g.core, g.coreFile = nil, nil
+	g.mu.Unlock()
+	if fc != nil {
+		return fc.Close()
+	}
+	return nil
 }
 
 // NumVertices is the number of non-isolated vertices after deduplication.
-func (g *Graph) NumVertices() int { return g.cg.NumVertices }
+// Like all canonical-metadata accessors it remains valid after Close.
+func (g *Graph) NumVertices() int { return g.numVertices }
 
-// NumEdges is the number of canonical (deduplicated) edges.
-func (g *Graph) NumEdges() int64 { return g.cg.Edges.Len() }
+// NumEdges is the number of canonical (deduplicated) edges. It remains
+// valid after Close.
+func (g *Graph) NumEdges() int64 { return g.edgesLen }
 
 // CanonIOs is the I/O cost of the one-time canonicalization paid by
-// Build; every Result of this handle reports the same value.
+// Build; every Result of this handle reports the same value. It remains
+// valid after Close.
 func (g *Graph) CanonIOs() uint64 { return g.canonIOs }
 
-// Options returns the (defaulted) build options of the handle.
+// Options returns the (defaulted) build options of the handle. It remains
+// valid after Close.
 func (g *Graph) Options() Options { return g.opts }
-
-// resetQueryLocked restores the handle to its post-Build state: query
-// scratch released, cache cold, statistics zeroed. Called with g.mu held
-// after every query, successful or cancelled, so each query starts from
-// an identical machine state and its accounting is reproducible.
-func (g *Graph) resetQueryLocked() {
-	g.sp.Release(g.mark)
-	g.sp.DropCache()
-	g.sp.ResetStats()
-}

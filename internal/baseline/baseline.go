@@ -14,10 +14,17 @@
 package baseline
 
 import (
+	"context"
+
+	"repro/internal/ctxutil"
 	"repro/internal/extmem"
 	"repro/internal/graph"
 	"repro/internal/trienum"
 )
+
+// edgeIterCheckEvery is the EdgeIterator cancellation granularity: the
+// context is consulted once per this many edges of the outer scan.
+const edgeIterCheckEvery = 512
 
 // BlockNestedLoop enumerates triangles with two pipelined block-nested-
 // loop joins: E(v1,v2) ⋈ E(v2,v3) produces a wedge stream that is buffered
@@ -25,10 +32,19 @@ import (
 // the O(E³/(M²·B)) plan the introduction says any relational engine could
 // run; it is competitive only when E is close to M.
 func BlockNestedLoop(sp *extmem.Space, g graph.Canonical, emit graph.Emit) trienum.Info {
+	info, _ := BlockNestedLoopCtx(nil, sp, g, emit)
+	return info
+}
+
+// BlockNestedLoopCtx is BlockNestedLoop with cooperative cancellation
+// between the outer build-side chunks — the plan's pass boundaries. On
+// cancellation it returns ctx.Err(); the rows emitted before it are a
+// prefix of the full stream. A nil ctx never cancels.
+func BlockNestedLoopCtx(ctx context.Context, sp *extmem.Space, g graph.Canonical, emit graph.Emit) (trienum.Info, error) {
 	var info trienum.Info
 	n := g.Edges.Len()
 	if n == 0 {
-		return info
+		return info, ctxutil.Err(ctx)
 	}
 	cfg := sp.Config()
 	chunk := int64(cfg.M / 8)
@@ -40,6 +56,9 @@ func BlockNestedLoop(sp *extmem.Space, g graph.Canonical, emit graph.Emit) trien
 	type wedge struct{ v1, v2, v3 uint32 }
 
 	for lo := int64(0); lo < n; lo += chunk {
+		if err := ctxutil.Err(ctx); err != nil {
+			return info, err
+		}
 		hi := lo + chunk
 		if hi > n {
 			hi = n
@@ -91,7 +110,7 @@ func BlockNestedLoop(sp *extmem.Space, g graph.Canonical, emit graph.Emit) trien
 		release()
 		info.Subproblems++
 	}
-	return info
+	return info, nil
 }
 
 // EdgeIterator enumerates triangles by intersecting the forward adjacency
@@ -99,10 +118,22 @@ func BlockNestedLoop(sp *extmem.Space, g graph.Canonical, emit graph.Emit) trien
 // iterator): O(E + E^1.5/B) I/Os — the E term is the per-edge random
 // access into the adjacency index.
 func EdgeIterator(sp *extmem.Space, g graph.Canonical, emit graph.Emit) trienum.Info {
+	info, _ := EdgeIteratorCtx(nil, sp, g, emit)
+	return info
+}
+
+// EdgeIteratorCtx is EdgeIterator with cooperative cancellation every
+// edgeIterCheckEvery edges of the outer scan. On cancellation it returns
+// ctx.Err(); the triangles emitted before it are a prefix of the full
+// stream. A nil ctx never cancels.
+func EdgeIteratorCtx(ctx context.Context, sp *extmem.Space, g graph.Canonical, emit graph.Emit) (trienum.Info, error) {
 	var info trienum.Info
 	n := g.Edges.Len()
 	if n == 0 {
-		return info
+		return info, ctxutil.Err(ctx)
+	}
+	if err := ctxutil.Err(ctx); err != nil {
+		return info, err
 	}
 	mark := sp.Mark()
 	defer sp.Release(mark)
@@ -120,6 +151,11 @@ func EdgeIterator(sp *extmem.Space, g graph.Canonical, emit graph.Emit) trienum.
 	}
 
 	for i := int64(0); i < n; i++ {
+		if i%edgeIterCheckEvery == 0 {
+			if err := ctxutil.Err(ctx); err != nil {
+				return info, err
+			}
+		}
 		e := g.Edges.Read(i)
 		u, w := graph.U(e), graph.V(e)
 		// Merge-intersect forward lists of u and w.
@@ -140,7 +176,7 @@ func EdgeIterator(sp *extmem.Space, g graph.Canonical, emit graph.Emit) trienum.
 			}
 		}
 	}
-	return info
+	return info, nil
 }
 
 func leaseFor(sp *extmem.Space, words int) func() {

@@ -2,8 +2,11 @@ package extmem
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"os"
+	"sync"
 )
 
 // Backend is the raw block store behind a Space: the "disk" of the model.
@@ -78,12 +81,17 @@ func (fb *fileBackend) ensureBuf(n int) []byte {
 
 func (fb *fileBackend) ReadBlock(b int64, dst []Word) error {
 	buf := fb.ensureBuf(len(dst) * 8)
-	off := b * int64(len(buf))
-	n, err := fb.f.ReadAt(buf, off)
-	if err != nil && n == 0 {
-		// Reading past EOF yields zeros: unwritten external memory.
-		zero(dst)
-		return nil
+	n, err := fb.f.ReadAt(buf, b*int64(len(buf)))
+	return decodeBlock(buf, n, err, dst)
+}
+
+// decodeBlock turns a ReadAt result into words: a short read that ran
+// into EOF pads with zeros (unwritten external memory reads as zero); any
+// other error is a genuine I/O failure and must surface, never be
+// mistaken for zeros.
+func decodeBlock(buf []byte, n int, err error, dst []Word) error {
+	if err != nil && !errors.Is(err, io.EOF) {
+		return err
 	}
 	for i := n; i < len(buf); i++ {
 		buf[i] = 0
@@ -106,3 +114,62 @@ func (fb *fileBackend) WriteBlock(b int64, src []Word) error {
 func (fb *fileBackend) Grow(words int64) error { return nil } // sparse file
 
 func (fb *fileBackend) Close() error { return fb.f.Close() }
+
+// tempFileBackend is a fileBackend whose file exists only as long as the
+// backend does: per-session scratch spill for disk-backed graphs.
+type tempFileBackend struct {
+	*fileBackend
+	path string
+}
+
+func newTempFileBackend(path string) (*tempFileBackend, error) {
+	fb, err := newFileBackend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &tempFileBackend{fileBackend: fb, path: path}, nil
+}
+
+func (tb *tempFileBackend) Close() error {
+	err := tb.fileBackend.Close()
+	if rmErr := os.Remove(tb.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// FileCore serves an immutable core from a file holding one little-endian
+// uint64 per word — the canonical image a disk-backed Build leaves at
+// Options.DiskPath. Reads go through os.File.ReadAt, which is safe for
+// concurrent use, so every live session of a handle can read the same
+// core straight from disk; words past EOF read as zero (unwritten
+// external memory), as in fileBackend.
+type FileCore struct {
+	f    *os.File
+	bufs sync.Pool // transfer buffers; pooled because sessions read concurrently
+}
+
+// NewFileCore opens the file read-only as a Core.
+func NewFileCore(path string) (*FileCore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("extmem: open core file: %w", err)
+	}
+	return &FileCore{f: f}, nil
+}
+
+// ReadCoreBlock implements Core.
+func (fc *FileCore) ReadCoreBlock(blk int64, dst []Word) error {
+	want := len(dst) * 8
+	buf, _ := fc.bufs.Get().([]byte)
+	if len(buf) != want {
+		buf = make([]byte, want)
+	}
+	defer fc.bufs.Put(buf)
+	n, err := fc.f.ReadAt(buf, blk*int64(want))
+	return decodeBlock(buf, n, err, dst)
+}
+
+// Close closes the backing file. The owner of the core (the graph handle)
+// calls it once every session is done.
+func (fc *FileCore) Close() error { return fc.f.Close() }

@@ -56,54 +56,19 @@ func (s *Space) Snapshot(ext Extent) []Word {
 	return out
 }
 
-// shardBackend serves the read-only shared region from a snapshot and
-// everything above it from a private in-memory overlay, so worker shards
-// never copy the shared data and cannot corrupt each other.
-type shardBackend struct {
-	shared       []Word
-	sharedBlocks int64
-	priv         *memBackend
-}
-
-func (sb *shardBackend) ReadBlock(b int64, dst []Word) error {
-	if b < sb.sharedBlocks {
-		copy(dst, sb.shared[b*int64(len(dst)):])
-		return nil
-	}
-	return sb.priv.ReadBlock(b-sb.sharedBlocks, dst)
-}
-
-func (sb *shardBackend) WriteBlock(b int64, src []Word) error {
-	if b < sb.sharedBlocks {
-		return fmt.Errorf("extmem: write-back to read-only shared block %d", b)
-	}
-	return sb.priv.WriteBlock(b-sb.sharedBlocks, src)
-}
-
-func (sb *shardBackend) Grow(words int64) error { return nil }
-
-func (sb *shardBackend) Close() error { return nil }
-
 // NewShardSpace creates a worker-private Space whose external memory
 // begins with the given read-only shared region — addresses
 // [0, len(shared)), which must be whole blocks, as returned by Snapshot —
 // and continues with private scratch space served from process memory.
 // The shard has its own cfg.M-word block cache and its own Stats; writing
 // into the shared region is a logic error that panics at write-back time.
+// It is the worker-level special case of NewSessionSpace (session.go),
+// which layers the same machinery under whole queries.
 func NewShardSpace(cfg Config, shared []Word) *Space {
-	if cfg.B <= 0 || len(shared)%cfg.B != 0 {
-		panic(fmt.Sprintf("extmem: shared region of %d words is not whole blocks of B=%d", len(shared), cfg.B))
-	}
-	sb := &shardBackend{
-		shared:       shared,
-		sharedBlocks: int64(len(shared) / cfg.B),
-		priv:         newMemBackend(),
-	}
-	sp, err := newSpace(cfg, sb)
+	sp, err := NewSessionSpace(cfg, WordsCore(shared), int64(len(shared)), "")
 	if err != nil {
 		panic(err)
 	}
-	sp.size = int64(len(shared))
 	return sp
 }
 

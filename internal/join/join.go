@@ -80,6 +80,68 @@ func (d *dictionary) intern(s string) uint32 {
 	return id
 }
 
+// Encoded is a Decomposition dictionary-encoded onto its tripartite
+// triangle graph: the three attribute classes occupy disjoint vertex-id
+// ranges (salespeople, then brands, then product types), each projection
+// contributes one bipartite edge set, and every triangle of the union is
+// one row of SB ⋈ BT ⋈ ST. It is the bridge by which any triangle
+// enumerator — the internal Spaces here, or a session of the public Graph
+// handle — serves the join: enumerate Edges, hand each triangle's vertex
+// ids (in any order) to Row.
+type Encoded struct {
+	// Edges is the union of the three bipartite graphs.
+	Edges      [][2]uint32
+	sd, bd, td *dictionary
+	bOff, tOff uint32
+}
+
+// Encode dictionary-encodes the decomposition.
+func (dec Decomposition) Encode() *Encoded {
+	e := &Encoded{sd: newDictionary(), bd: newDictionary(), td: newDictionary()}
+	for _, p := range dec.SB {
+		e.sd.intern(p.A)
+		e.bd.intern(p.B)
+	}
+	for _, p := range dec.BT {
+		e.bd.intern(p.A)
+		e.td.intern(p.B)
+	}
+	for _, p := range dec.ST {
+		e.sd.intern(p.A)
+		e.td.intern(p.B)
+	}
+	e.bOff = uint32(len(e.sd.names))
+	e.tOff = e.bOff + uint32(len(e.bd.names))
+	for _, p := range dec.SB {
+		e.Edges = append(e.Edges, [2]uint32{e.sd.ids[p.A], e.bOff + e.bd.ids[p.B]})
+	}
+	for _, p := range dec.BT {
+		e.Edges = append(e.Edges, [2]uint32{e.bOff + e.bd.ids[p.A], e.tOff + e.td.ids[p.B]})
+	}
+	for _, p := range dec.ST {
+		e.Edges = append(e.Edges, [2]uint32{e.sd.ids[p.A], e.tOff + e.td.ids[p.B]})
+	}
+	return e
+}
+
+// Row decodes one triangle (vertex ids of the encoded graph, any order)
+// into the join row it represents; the tripartite structure means each
+// triangle has exactly one vertex per attribute class.
+func (e *Encoded) Row(a, b, c uint32) Row {
+	var r Row
+	for _, id := range [3]uint32{a, b, c} {
+		switch {
+		case id < e.bOff:
+			r.Salesperson = e.sd.names[id]
+		case id < e.tOff:
+			r.Brand = e.bd.names[id-e.bOff]
+		default:
+			r.ProductType = e.td.names[id-e.tOff]
+		}
+	}
+	return r
+}
+
 // Join computes SB ⋈ BT ⋈ ST and returns its rows (in no particular
 // order) together with I/O statistics of the underlying enumeration.
 func (dec Decomposition) Join(opt Options, visit func(Row)) (Stats, error) {
@@ -96,33 +158,10 @@ func (dec Decomposition) Join(opt Options, visit func(Row)) (Stats, error) {
 		return st, err
 	}
 
-	// Dictionary-encode the three attribute classes into disjoint vertex
-	// ranges: salespeople, then brands, then product types.
-	sd, bd, td := newDictionary(), newDictionary(), newDictionary()
-	for _, p := range dec.SB {
-		sd.intern(p.A)
-		bd.intern(p.B)
-	}
-	for _, p := range dec.BT {
-		bd.intern(p.A)
-		td.intern(p.B)
-	}
-	for _, p := range dec.ST {
-		sd.intern(p.A)
-		td.intern(p.B)
-	}
-	bOff := uint32(len(sd.names))
-	tOff := bOff + uint32(len(bd.names))
-
+	enc := dec.Encode()
 	var el graph.EdgeList
-	for _, p := range dec.SB {
-		el.Add(sd.ids[p.A], bOff+bd.ids[p.B])
-	}
-	for _, p := range dec.BT {
-		el.Add(bOff+bd.ids[p.A], tOff+td.ids[p.B])
-	}
-	for _, p := range dec.ST {
-		el.Add(sd.ids[p.A], tOff+td.ids[p.B])
+	for _, e := range enc.Edges {
+		el.Add(e[0], e[1])
 	}
 
 	g := graph.CanonicalizeList(sp, el)
@@ -130,22 +169,8 @@ func (dec Decomposition) Join(opt Options, visit func(Row)) (Stats, error) {
 	sp.ResetStats()
 
 	emit := func(a, b, c uint32) {
-		// Map ranks back to ids; the tripartite structure means each
-		// triangle has exactly one vertex per class.
-		var s, br, ty string
-		for _, r := range [3]uint32{a, b, c} {
-			id := g.RankToID[r]
-			switch {
-			case id < bOff:
-				s = sd.names[id]
-			case id < tOff:
-				br = bd.names[id-bOff]
-			default:
-				ty = td.names[id-tOff]
-			}
-		}
 		st.Rows++
-		visit(Row{Salesperson: s, Brand: br, ProductType: ty})
+		visit(enc.Row(g.RankToID[a], g.RankToID[b], g.RankToID[c]))
 	}
 
 	switch opt.Algorithm {

@@ -156,9 +156,15 @@ func solveTuple(sp *extmem.Space, edges extmem.Extent, off []int64, c int, color
 			adj[graph.U(e)] = append(adj[graph.U(e)], graph.V(e))
 		}
 	}
-	for _, l := range adj {
+	starts := make([]uint32, 0, len(adj))
+	for v, l := range adj {
 		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		starts = append(starts, v)
 	}
+	// Iterate start vertices in sorted order, not map order: the emission
+	// stream of a subproblem must be a pure function of the subproblem,
+	// identical across runs (and across concurrent sessions).
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 
 	// Depth-first clique extension with per-position color constraints.
 	t0 := uint32(tuple[0])
@@ -178,12 +184,12 @@ func solveTuple(sp *extmem.Space, edges extmem.Extent, off []int64, c int, color
 			extend(pos+1, intersectSorted(cands, adj[v], v))
 		}
 	}
-	for v, fwd := range adj {
+	for _, v := range starts {
 		if colorOf(v) != t0 {
 			continue
 		}
 		verts[0] = v
-		extend(1, fwd)
+		extend(1, adj[v])
 	}
 	return nil
 }

@@ -314,9 +314,14 @@ func (p *Pattern) solvePatternTuple(sp *extmem.Space, edges extmem.Extent, off [
 			addDir(graph.V(e), graph.U(e))
 		}
 	}
-	for _, l := range adj {
+	starts := make([]uint32, 0, len(adj))
+	for v, l := range adj {
 		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		starts = append(starts, v)
 	}
+	// Sorted start order, as in solveTuple: the embedding stream must be
+	// a pure function of the subproblem, identical across runs.
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 	has := func(a, b uint32) bool {
 		l := adj[a]
 		i := sort.Search(len(l), func(i int) bool { return l[i] >= b })
@@ -375,7 +380,7 @@ func (p *Pattern) solvePatternTuple(sp *extmem.Space, edges extmem.Extent, off [
 		}
 	}
 	t0 := uint32(tuple[order[0]])
-	for v := range adj {
+	for _, v := range starts {
 		if colorOf(v) != t0 {
 			continue
 		}

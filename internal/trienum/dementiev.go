@@ -1,10 +1,18 @@
 package trienum
 
 import (
+	"context"
+
+	"repro/internal/ctxutil"
 	"repro/internal/emsort"
 	"repro/internal/extmem"
 	"repro/internal/graph"
 )
+
+// dementievCheckEvery is the merge-pass cancellation granularity: the
+// context is consulted once per this many candidate records, so a
+// cancellation lands within O(1) emissions instead of after the pass.
+const dementievCheckEvery = 1024
 
 // DementievSortMerge enumerates all triangles of the edge segment seg with
 // the sort-based node iterator from Dementiev's thesis, the base case of
@@ -15,9 +23,22 @@ import (
 // seg is not modified (the subroutine sorts a copy). filter, if non-nil,
 // vetoes emissions. sorter selects cache-aware or oblivious sorting.
 func DementievSortMerge(sp *extmem.Space, seg extmem.Extent, sorter graph.SortFunc, filter func(a, b, c uint32) bool, emit graph.Emit) {
+	_ = DementievSortMergeCtx(nil, sp, seg, sorter, filter, emit)
+}
+
+// DementievSortMergeCtx is DementievSortMerge with cooperative
+// cancellation: ctx (which may be nil) is checked at the pass boundaries
+// — after the edge sort, after wedge generation, after the wedge sort —
+// and periodically inside the closing merge scan. On cancellation it
+// returns ctx.Err(); the triangles emitted before it are a prefix of the
+// full stream.
+func DementievSortMergeCtx(ctx context.Context, sp *extmem.Space, seg extmem.Extent, sorter graph.SortFunc, filter func(a, b, c uint32) bool, emit graph.Emit) error {
 	n := seg.Len()
 	if n < 3 {
-		return
+		return ctxutil.Err(ctx)
+	}
+	if err := ctxutil.Err(ctx); err != nil {
+		return err
 	}
 	mark := sp.Mark()
 	defer sp.Release(mark)
@@ -25,6 +46,9 @@ func DementievSortMerge(sp *extmem.Space, seg extmem.Extent, sorter graph.SortFu
 	edges := sp.Alloc(n)
 	seg.CopyTo(edges)
 	sorter(edges, 1, emsort.Identity)
+	if err := ctxutil.Err(ctx); err != nil {
+		return err
+	}
 
 	// Count wedges: for a vertex with forward degree d, C(d,2) candidate
 	// pairs. In canonical (degree) order Σ C(d⁺,2) = O(E^1.5).
@@ -34,7 +58,7 @@ func DementievSortMerge(sp *extmem.Space, seg extmem.Extent, sorter graph.SortFu
 		wedges += d * (d - 1) / 2
 	})
 	if wedges == 0 {
-		return
+		return nil
 	}
 
 	// Candidate records: (packed {u,w}, cone v), two words each.
@@ -52,11 +76,22 @@ func DementievSortMerge(sp *extmem.Space, seg extmem.Extent, sorter graph.SortFu
 			}
 		}
 	})
+	if err := ctxutil.Err(ctx); err != nil {
+		return err
+	}
 	sorter(cand, 2, emsort.Identity)
+	if err := ctxutil.Err(ctx); err != nil {
+		return err
+	}
 
 	// Merge candidates against the edge list; equal keys close triangles.
 	var ei int64
 	for ci := int64(0); ci < cand.Len(); ci += 2 {
+		if ci%(2*dementievCheckEvery) == 0 {
+			if err := ctxutil.Err(ctx); err != nil {
+				return err
+			}
+		}
 		key := cand.Read(ci)
 		for ei < n && edges.Read(ei) < key {
 			ei++
@@ -70,6 +105,7 @@ func DementievSortMerge(sp *extmem.Space, seg extmem.Extent, sorter graph.SortFu
 			}
 		}
 	}
+	return nil
 }
 
 // forEachGroup calls fn(lo, hi) for every maximal run of edges sharing

@@ -1,6 +1,9 @@
 package trienum
 
 import (
+	"context"
+
+	"repro/internal/ctxutil"
 	"repro/internal/extmem"
 	"repro/internal/graph"
 )
@@ -22,9 +25,16 @@ import (
 // distinct Spaces (the worker shards of parallel.go) are safe; filter and
 // emit must then be confined or pure.
 func kernel(sp *extmem.Space, edges, pivots extmem.Extent, memEdges int, filter func(v, u, w uint32) bool, emit graph.Emit) {
+	_ = kernelCtx(nil, sp, edges, pivots, memEdges, filter, emit)
+}
+
+// kernelCtx is kernel with cooperative cancellation between pivot chunks
+// — each chunk is one full scan of the edge set, the algorithm's natural
+// pass boundary. A nil ctx never cancels.
+func kernelCtx(ctx context.Context, sp *extmem.Space, edges, pivots extmem.Extent, memEdges int, filter func(v, u, w uint32) bool, emit graph.Emit) error {
 	nPivots := pivots.Len()
 	if nPivots == 0 || edges.Len() == 0 {
-		return
+		return ctxutil.Err(ctx)
 	}
 	if memEdges <= 0 {
 		// The constant α of the paper: pivot chunks of αM edges. The
@@ -37,12 +47,16 @@ func kernel(sp *extmem.Space, edges, pivots extmem.Extent, memEdges int, filter 
 	}
 
 	for lo := int64(0); lo < nPivots; lo += int64(memEdges) {
+		if err := ctxutil.Err(ctx); err != nil {
+			return err
+		}
 		hi := lo + int64(memEdges)
 		if hi > nPivots {
 			hi = nPivots
 		}
 		kernelChunk(sp, edges, pivots.Slice(lo, hi), filter, emit)
 	}
+	return nil
 }
 
 // kernelChunk processes one memory-resident chunk of pivot edges against a

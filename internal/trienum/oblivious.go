@@ -1,6 +1,9 @@
 package trienum
 
 import (
+	"context"
+
+	"repro/internal/ctxutil"
 	"repro/internal/emio"
 	"repro/internal/emsort"
 	"repro/internal/extmem"
@@ -29,17 +32,31 @@ const obliviousBaseCutoff = 24
 // each repartitioned in place so that total disk stays O(E). Leaves are
 // solved with Dementiev's sort-merge algorithm.
 func Oblivious(sp *extmem.Space, g graph.Canonical, seed uint64, emit graph.Emit) Info {
+	info, _ := ObliviousCtx(nil, sp, g, seed, emit)
+	return info
+}
+
+// ObliviousCtx is Oblivious with cooperative cancellation: ctx (which may
+// be nil) is checked at every recursion node, between the per-vertex
+// Lemma 1 passes inside a node, and inside the Dementiev base cases. On
+// cancellation the run unwinds and returns ctx.Err(); the triangles
+// emitted before it are a prefix of the full stream.
+func ObliviousCtx(ctx context.Context, sp *extmem.Space, g graph.Canonical, seed uint64, emit graph.Emit) (Info, error) {
 	var info Info
 	emit = countingEmit(&info, emit)
 	E := g.Edges.Len()
 	if E == 0 {
-		return info
+		return info, ctxutil.Err(ctx)
+	}
+	if err := ctxutil.Err(ctx); err != nil {
+		return info, err
 	}
 	mark := sp.Mark()
 	defer sp.Release(mark)
 
 	o := &oblivious{
 		sp:   sp,
+		ctx:  ctx,
 		emit: emit,
 		info: &info,
 		rng:  hashing.NewRand(seed),
@@ -54,8 +71,8 @@ func Oblivious(sp *extmem.Space, g graph.Canonical, seed uint64, emit graph.Emit
 	for d := int64(1); d < E; d *= 4 {
 		o.maxDepth++
 	}
-	o.recurse(0, E, [3]uint32{1, 1, 1}, 0)
-	return info
+	err := o.recurse(0, E, [3]uint32{1, 1, 1}, 0)
+	return info, err
 }
 
 // oblivious carries the recursion state. work holds the edges; ann holds,
@@ -65,6 +82,7 @@ func Oblivious(sp *extmem.Space, g graph.Canonical, seed uint64, emit graph.Emit
 // permutations of it, so a parent's edge multiset survives its children.
 type oblivious struct {
 	sp       *extmem.Space
+	ctx      context.Context
 	emit     graph.Emit
 	info     *Info
 	rng      *hashing.Rand
@@ -96,10 +114,16 @@ func (o *oblivious) properEmit(col [3]uint32, depth int) func(a, b, c uint32) {
 	}
 }
 
-func (o *oblivious) recurse(lo, hi int64, col [3]uint32, depth int) {
+func (o *oblivious) recurse(lo, hi int64, col [3]uint32, depth int) error {
 	n := hi - lo
 	if n == 0 {
-		return
+		return nil
+	}
+	// The recursion node is the cancellation boundary of the
+	// cache-oblivious algorithm: cheap, and frequent enough that a
+	// cancelled run stops within one node's work.
+	if err := ctxutil.Err(o.ctx); err != nil {
+		return err
 	}
 	o.info.Subproblems++
 	for len(o.info.Recursion) <= depth {
@@ -116,16 +140,18 @@ func (o *oblivious) recurse(lo, hi int64, col [3]uint32, depth int) {
 	if depth >= o.maxDepth || n <= obliviousBaseCutoff {
 		o.info.BaseCases++
 		properEmit := o.properEmit(col, depth)
-		DementievSortMerge(o.sp, seg, emsort.FunnelSortRecords, nil, func(a, b, c uint32) {
+		return DementievSortMergeCtx(o.ctx, o.sp, seg, emsort.FunnelSortRecords, nil, func(a, b, c uint32) {
 			properEmit(a, b, c)
 		})
-		return
 	}
 
 	// Step 1: local high-degree vertices (degree >= n/8; at most 16).
-	n = o.localHighDegree(lo, hi, col, depth)
+	n, err := o.localHighDegree(lo, hi, col, depth)
+	if err != nil {
+		return err
+	}
 	if n == 0 {
-		return
+		return nil
 	}
 	seg = o.work.Slice(lo, lo+n)
 	annSeg := o.ann.Slice(lo, lo+n)
@@ -150,7 +176,9 @@ func (o *oblivious) recurse(lo, hi int64, col [3]uint32, depth int) {
 			2*col[2] - uint32(bits>>2&1),
 		}
 		k := o.partitionCompatible(lo, lo+n, zeta)
-		o.recurse(lo, lo+k, zeta, depth+1)
+		if err := o.recurse(lo, lo+k, zeta, depth+1); err != nil {
+			return err
+		}
 	}
 
 	// Restore the annotations of this segment to this node's level before
@@ -166,13 +194,15 @@ func (o *oblivious) recurse(lo, hi int64, col [3]uint32, depth int) {
 		annSeg.Write(i, extmem.Word(pu)<<32|extmem.Word(pv))
 	}
 	o.chain = o.chain[:len(o.chain)-1]
+	return nil
 }
 
 // localHighDegree enumerates (via Lemma 1) and removes all triangles with
 // a vertex of degree >= n/8 within the segment, returning the new length.
 // Removal is a permutation: removed edges are moved past the new length,
-// preserving the parent's multiset.
-func (o *oblivious) localHighDegree(lo, hi int64, col [3]uint32, depth int) int64 {
+// preserving the parent's multiset. The per-vertex passes are the node's
+// internal cancellation boundaries.
+func (o *oblivious) localHighDegree(lo, hi int64, col [3]uint32, depth int) (int64, error) {
 	n := hi - lo
 	mark := o.sp.Mark()
 	ends := o.sp.Alloc(2 * n)
@@ -204,6 +234,9 @@ func (o *oblivious) localHighDegree(lo, hi int64, col [3]uint32, depth int) int6
 		if cur == 0 {
 			break
 		}
+		if err := ctxutil.Err(o.ctx); err != nil {
+			return cur, err
+		}
 		segCur := o.work.Slice(lo, lo+cur)
 		enumerateContaining(o.sp, segCur, v, emsort.FunnelSortRecords, func(u, w uint32) {
 			t := graph.MakeTriple(v, u, w)
@@ -214,7 +247,7 @@ func (o *oblivious) localHighDegree(lo, hi int64, col [3]uint32, depth int) int6
 		})
 		o.info.HighDegVertices++
 	}
-	return cur
+	return cur, nil
 }
 
 // partitionCompatible permutes [lo,hi) of work (and annotations) so edges

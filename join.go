@@ -39,6 +39,10 @@ type JoinOptions struct {
 	BlockWords  int
 	// Seed drives the randomized algorithms.
 	Seed uint64
+	// Workers is the worker count for the parallel-capable algorithms
+	// (0 = one per CPU); the reconstructed rows and aggregated I/O
+	// statistics are identical at every value.
+	Workers int
 }
 
 // JoinStats reports the I/O work of a join.
@@ -51,36 +55,48 @@ type JoinStats struct {
 
 // Join computes SB ⋈ BT ⋈ ST, calling visit once per reconstructed row
 // (in no particular order), and returns I/O statistics of the underlying
-// triangle enumeration.
+// triangle enumeration. The join runs as a query session of a Graph
+// handle built from the encoded tripartite graph — the same machinery
+// that serves Triangles — so repeated joins of different decompositions
+// (or the same one) may run concurrently from different goroutines.
 func (d JoinDecomposition) Join(opt JoinOptions, visit func(JoinRow)) (JoinStats, error) {
-	var alg join.Algorithm
 	switch opt.Algorithm {
-	case CacheAware:
-		alg = join.CacheAware
-	case CacheOblivious:
-		alg = join.CacheOblivious
-	case Deterministic:
-		alg = join.Deterministic
-	case HuTaoChung:
-		alg = join.HuTaoChung
+	case CacheAware, CacheOblivious, Deterministic, HuTaoChung:
 	default:
 		return JoinStats{}, fmt.Errorf("repro: join does not support algorithm %v", opt.Algorithm)
 	}
 	dec := join.Decomposition{SB: toJoinPairs(d.SB), BT: toJoinPairs(d.BT), ST: toJoinPairs(d.ST)}
-	st, err := dec.Join(join.Options{
-		Algorithm:   alg,
-		MemoryWords: opt.MemoryWords,
-		BlockWords:  opt.BlockWords,
-		Seed:        opt.Seed,
-	}, func(r join.Row) {
+	enc := dec.Encode()
+	parallelAlgo := opt.Algorithm == CacheAware || opt.Algorithm == Deterministic
+	g, err := Build(FromEdges(enc.Edges), Options{
+		MemoryWords:     opt.MemoryWords,
+		BlockWords:      opt.BlockWords,
+		Workers:         opt.Workers,
+		SequentialCanon: !parallelAlgo,
+	})
+	if err != nil {
+		return JoinStats{}, err
+	}
+	defer g.Close()
+	res, err := g.TrianglesFunc(nil, Query{
+		Algorithm: opt.Algorithm,
+		Seed:      opt.Seed,
+		Workers:   opt.Workers,
+	}, func(a, b, c uint32) {
 		if visit != nil {
+			r := enc.Row(a, b, c)
 			visit(JoinRow{Salesperson: r.Salesperson, Brand: r.Brand, ProductType: r.ProductType})
 		}
 	})
 	if err != nil {
 		return JoinStats{}, err
 	}
-	return JoinStats{Rows: st.Rows, IOs: st.IOs, BlockReads: st.BlockReads, BlockWrites: st.BlockWrite}, nil
+	return JoinStats{
+		Rows:        res.Matches,
+		IOs:         res.Stats.IOs(),
+		BlockReads:  res.Stats.BlockReads,
+		BlockWrites: res.Stats.BlockWrites,
+	}, nil
 }
 
 // DecomposeJoinRows projects a ternary relation onto its three binary

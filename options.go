@@ -86,9 +86,13 @@ type Options struct {
 	// Seed drives randomized edge sources (FromSpec generators); the
 	// randomized query algorithms take their seed from Query.Seed.
 	Seed uint64
-	// DiskPath, when non-empty, backs the external memory with a real
-	// file at that path instead of process memory. Close the Graph to
-	// release it.
+	// DiskPath, when non-empty, backs the external memory with real files
+	// instead of process memory: Build canonicalizes into the file at this
+	// path and leaves the frozen canonical image there, query sessions
+	// read the shared core from it and spill their private scratch to
+	// per-session temp files "<DiskPath>.q<n>" (removed when the query
+	// finishes), and Close releases the image file. The image outlives the
+	// handle on disk.
 	DiskPath string
 	// SequentialCanon runs the Build-time canonicalization with the
 	// sequential reference sorts on the coordinator instead of the

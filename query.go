@@ -7,7 +7,6 @@ import (
 	"sort"
 
 	"repro/internal/baseline"
-	"repro/internal/ctxutil"
 	"repro/internal/extmem"
 	"repro/internal/graph"
 	"repro/internal/subgraph"
@@ -93,73 +92,63 @@ func (g *Graph) resolveWorkers(q Query) int {
 // nil emit counts only. Cancellation through ctx is cooperative — the
 // parallel engine (CacheAware, Deterministic) checks between subproblems
 // and sort runs, drains its worker pool, and returns ctx.Err(); the
-// sequential algorithms check only between phases. The triangles emitted
-// before a cancellation are a prefix of the full stream, and the Result
-// returned alongside the error carries the partial counts and the
-// statistics accumulated so far. ctx may be nil.
+// sequential algorithms check at their pass, chunk, and recursion
+// boundaries. The triangles emitted before a cancellation are a prefix of
+// the full stream, and the Result returned alongside the error carries
+// the partial counts and the statistics accumulated so far. ctx may be
+// nil.
 //
-// emit runs on the calling goroutine while the handle's query lock is
-// held: it must not issue another query against, or Close, the same
-// Graph — that deadlocks. Run follow-up queries after the call returns.
+// The query runs on its own session over the handle's immutable core, so
+// it may be issued concurrently with any other queries of the same Graph;
+// emit may itself issue follow-up queries against the handle (but must
+// not Close it — Close waits for the query emit is running under).
 func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c uint32)) (Result, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
-		return Result{}, ErrGraphClosed
+	s, err := g.acquire()
+	if err != nil {
+		return Result{}, err
 	}
-	defer g.resetQueryLocked()
+	defer s.close()
 
 	res := g.baseResult()
 	workers := g.resolveWorkers(q)
 	exec := trienum.Exec{Workers: workers, Ctx: ctx}
 	wrapped := func(a, b, c uint32) {
 		if emit != nil {
-			t := graph.MakeTriple(g.cg.RankToID[a], g.cg.RankToID[b], g.cg.RankToID[c])
+			t := graph.MakeTriple(s.cg.RankToID[a], s.cg.RankToID[b], s.cg.RankToID[c])
 			emit(t.V1, t.V2, t.V3)
 		}
 	}
 
 	var info trienum.Info
 	var workerStats []extmem.Stats
-	var err error
 	switch q.Algorithm {
 	case CacheAware:
-		info, workerStats, err = trienum.CacheAwareParallel(g.sp, g.cg, q.Seed, exec, wrapped)
+		info, workerStats, err = trienum.CacheAwareParallel(s.sp, s.cg, q.Seed, exec, wrapped)
 		res.Workers = workers
 	case CacheOblivious:
-		if err = ctxutil.Err(ctx); err == nil {
-			info = trienum.Oblivious(g.sp, g.cg, q.Seed, wrapped)
-		}
+		info, err = trienum.ObliviousCtx(ctx, s.sp, s.cg, q.Seed, wrapped)
 	case Deterministic:
-		info, workerStats, err = trienum.DeterministicParallel(g.sp, g.cg, q.FamilySize, exec, wrapped)
+		info, workerStats, err = trienum.DeterministicParallel(s.sp, s.cg, q.FamilySize, exec, wrapped)
 		if err == nil {
 			res.Workers = workers
 		}
 	case HuTaoChung:
-		if err = ctxutil.Err(ctx); err == nil {
-			info = trienum.HuTaoChung(g.sp, g.cg, wrapped)
-		}
+		info, err = trienum.HuTaoChungCtx(ctx, s.sp, s.cg, wrapped)
 	case BlockNestedLoop:
-		if err = ctxutil.Err(ctx); err == nil {
-			info = baseline.BlockNestedLoop(g.sp, g.cg, wrapped)
-		}
+		info, err = baseline.BlockNestedLoopCtx(ctx, s.sp, s.cg, wrapped)
 	case EdgeIterator:
-		if err = ctxutil.Err(ctx); err == nil {
-			info = baseline.EdgeIterator(g.sp, g.cg, wrapped)
-		}
+		info, err = baseline.EdgeIteratorCtx(ctx, s.sp, s.cg, wrapped)
 	case SortMerge:
-		if err = ctxutil.Err(ctx); err == nil {
-			info = trienum.Dementiev(g.sp, g.cg, wrapped)
-		}
+		info, err = trienum.DementievCtx(ctx, s.sp, s.cg, wrapped)
 	default:
 		return res, fmt.Errorf("repro: unknown algorithm %v", q.Algorithm)
 	}
 	if err == nil {
 		// Count the final write-backs into the run's statistics; a
 		// cancelled run reports its statistics as accumulated, unflushed.
-		g.sp.Flush()
+		s.sp.Flush()
 	}
-	st := g.sp.Stats()
+	st := s.sp.Stats()
 	for _, w := range workerStats {
 		st.Add(w)
 		res.WorkerStats = append(res.WorkerStats, toIOStats(w))
@@ -171,7 +160,7 @@ func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c ui
 	res.HighDegVertices = info.HighDegVertices
 	res.Subproblems = info.Subproblems
 	res.X = info.X
-	g.deliverResult(q, res)
+	deliverResult(q, res)
 	return res, err
 }
 
@@ -187,9 +176,9 @@ func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c ui
 // workers before the iterator returns. Set Query.Result to receive the
 // per-query statistics.
 //
-// The loop body runs while the handle's query lock is held: like an emit
-// callback, it must not issue another query against, or Close, the same
-// Graph — collect what the follow-up needs and run it after the loop.
+// The loop body runs on the iterating goroutine while the query's private
+// session is live: it may issue further queries against the same handle
+// (they run on sessions of their own), but must not Close it.
 func (g *Graph) Triangles(ctx context.Context, q Query) iter.Seq2[Triangle, error] {
 	return func(yield func(Triangle, error) bool) {
 		qctx, cancel := cancelableCtx(ctx)
@@ -216,10 +205,11 @@ func (g *Graph) Triangles(ctx context.Context, q Query) iter.Seq2[Triangle, erro
 // vertex ids of the caller's id space; the slice is reused between calls
 // — copy it to retain. Emission order follows the decomposition, not any
 // global order. ctx is checked between color-tuple subproblems; it may
-// be nil. A nil emit counts only.
+// be nil. A nil emit counts only. Like every query, it runs on its own
+// session and may overlap other queries of the handle.
 func (g *Graph) CliquesFunc(ctx context.Context, k int, q Query, emit func(clique []uint32)) (Result, error) {
-	return g.subgraphQuery(ctx, q, emit, func(sg *Graph, wrapped subgraph.EmitK) (subgraph.Info, error) {
-		return subgraph.KClique(ctx, sg.sp, sg.cg, k, q.Seed, wrapped)
+	return g.subgraphQuery(ctx, q, emit, func(s *session, wrapped subgraph.EmitK) (subgraph.Info, error) {
+		return subgraph.KClique(ctx, s.sp, s.cg, k, q.Seed, wrapped)
 	}, true)
 }
 
@@ -246,8 +236,8 @@ func (g *Graph) MatchFunc(ctx context.Context, p *Pattern, q Query, emit func(as
 	if p == nil || p.p == nil {
 		return Result{}, fmt.Errorf("repro: Match requires a non-nil pattern")
 	}
-	return g.subgraphQuery(ctx, q, emit, func(sg *Graph, wrapped subgraph.EmitK) (subgraph.Info, error) {
-		return p.p.Enumerate(ctx, sg.sp, sg.cg, q.Seed, wrapped)
+	return g.subgraphQuery(ctx, q, emit, func(s *session, wrapped subgraph.EmitK) (subgraph.Info, error) {
+		return p.p.Enumerate(ctx, s.sp, s.cg, q.Seed, wrapped)
 	}, false)
 }
 
@@ -261,19 +251,18 @@ func (g *Graph) Match(ctx context.Context, p *Pattern, q Query) iter.Seq2[[]uint
 	})
 }
 
-// subgraphQuery is the shared engine room of Cliques and Match: lock,
-// run the Section 6 enumerator with ranks mapped back to input ids,
-// collect the worker-invariant statistics, reset the handle. sortIDs
-// orders each emitted vertex set ascending (cliques are unordered sets;
-// pattern embeddings are positional and must not be reordered).
+// subgraphQuery is the shared engine room of Cliques and Match: open a
+// session, run the Section 6 enumerator with ranks mapped back to input
+// ids, collect the worker-invariant statistics, close the session.
+// sortIDs orders each emitted vertex set ascending (cliques are unordered
+// sets; pattern embeddings are positional and must not be reordered).
 func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
-	run func(*Graph, subgraph.EmitK) (subgraph.Info, error), sortIDs bool) (Result, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
-		return Result{}, ErrGraphClosed
+	run func(*session, subgraph.EmitK) (subgraph.Info, error), sortIDs bool) (Result, error) {
+	s, err := g.acquire()
+	if err != nil {
+		return Result{}, err
 	}
-	defer g.resetQueryLocked()
+	defer s.close()
 
 	res := g.baseResult()
 	var mapped []uint32
@@ -286,14 +275,14 @@ func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
 		}
 		mapped = mapped[:len(vs)]
 		for i, v := range vs {
-			mapped[i] = g.cg.RankToID[v]
+			mapped[i] = s.cg.RankToID[v]
 		}
 		if sortIDs {
 			sort.Slice(mapped, func(i, j int) bool { return mapped[i] < mapped[j] })
 		}
 		emit(mapped)
 	}
-	info, err := run(g, wrapped)
+	info, err := run(s, wrapped)
 	res.Matches = info.Cliques
 	res.Colors = info.Colors
 	res.Subproblems = info.Subproblems
@@ -301,10 +290,10 @@ func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
 	if err == nil {
 		// As in TrianglesFunc: flush on success, report a cancelled run's
 		// statistics as accumulated.
-		g.sp.Flush()
+		s.sp.Flush()
 	}
-	res.Stats = toIOStats(g.sp.Stats())
-	g.deliverResult(q, res)
+	res.Stats = toIOStats(s.sp.Stats())
+	deliverResult(q, res)
 	return res, err
 }
 
@@ -332,14 +321,14 @@ func (g *Graph) subgraphSeq(ctx context.Context, run func(qctx context.Context, 
 
 func (g *Graph) baseResult() Result {
 	return Result{
-		Vertices: g.cg.NumVertices,
-		Edges:    g.cg.Edges.Len(),
+		Vertices: g.numVertices,
+		Edges:    g.edgesLen,
 		CanonIOs: g.canonIOs,
 		Workers:  1,
 	}
 }
 
-func (g *Graph) deliverResult(q Query, res Result) {
+func deliverResult(q Query, res Result) {
 	if q.Result != nil {
 		*q.Result = res
 	}

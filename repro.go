@@ -34,6 +34,15 @@
 // an edge slice (FromEdges), the binary edge-file format (FromReader),
 // text edge lists (FromTextReader), or a generator spec (FromSpec).
 //
+// Build freezes the canonical representation into an immutable core, and
+// every query runs on a private session over it — its own M-word cache,
+// statistics, and scratch — so any number of queries may run concurrently
+// on one handle from different goroutines. Each reports exactly the
+// Result of a serialized run: sessions start cold by construction, so
+// emission order, I/O statistics, and CanonIOs are byte-identical however
+// queries overlap. Emit callbacks may issue follow-up queries against the
+// handle; Close waits for active queries to drain.
+//
 // The one-shot helpers remain:
 //
 //	edges := [][2]uint32{{0, 1}, {1, 2}, {0, 2}}
