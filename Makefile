@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race bench bench-gated bench-compare examples lint fmt clean
+.PHONY: all build test race bench bench-gated bench-compare examples lint staticcheck fmt clean
 
 all: lint build test
 
@@ -51,6 +51,14 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+
+# Deeper static analysis; CI runs this in its own job, pinned to the
+# same version. Install once with:
+#   go install honnef.co/go/tools/cmd/staticcheck@2025.1.1
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not installed: go install honnef.co/go/tools/cmd/staticcheck@2025.1.1"; exit 1; }
+	staticcheck ./...
 
 fmt:
 	gofmt -w .

@@ -454,6 +454,61 @@ func BenchmarkE17ConcurrentQueries(b *testing.B) {
 	}
 }
 
+// BenchmarkE18UpdateDelta — updatable handles: merging a ~1% edge delta
+// into the frozen canonical image (Update) vs. paying the full
+// O(sort(E)) canonicalization again (Build of the updated set). Both
+// reported metrics are deterministic block counts — mergeIOs is the
+// UpdateResult.MergeIOs of the delta merge, rebuildIOs the fresh build's
+// CanonIOs — and the benchmark fails outright if the merge is not
+// strictly cheaper, which is the point of the delta path: the merge
+// replaces the raw-edge, endpoint-doubling, and vertex-table sorts with
+// scans, keeping only the two relabeling sorts at sort(E) scale.
+func BenchmarkE18UpdateDelta(b *testing.B) {
+	edges, err := Generate("gnm:n=4000,m=32000", 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{MemoryWords: 1 << 12, BlockWords: 1 << 6, Workers: 1}
+	var d Delta
+	for i := 0; i < 160; i++ {
+		d.Remove = append(d.Remove, edges[(i*97)%len(edges)])
+		d.Add = append(d.Add, [2]uint32{uint32(i * 3 % 4000), uint32(50000 + i)})
+	}
+
+	var mergeIOs, rebuildIOs uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, err := Build(FromEdges(edges), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := g.Update(nil, d)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mergeIOs = res.MergeIOs
+		if rebuildIOs == 0 {
+			model := newEdgeSet(edges)
+			model.apply(d)
+			fresh, err := Build(FromEdges(model.slice()), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rebuildIOs = fresh.CanonIOs()
+			fresh.Close()
+		}
+		g.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(mergeIOs), "mergeIOs")
+	b.ReportMetric(float64(rebuildIOs), "rebuildIOs")
+	if mergeIOs >= rebuildIOs {
+		b.Fatalf("delta merge cost %d IOs >= full rebuild %d IOs", mergeIOs, rebuildIOs)
+	}
+}
+
 // BenchmarkEnumeratePublicAPI measures the end-to-end public entry point,
 // including canonicalization, at a realistic configuration.
 func BenchmarkEnumeratePublicAPI(b *testing.B) {

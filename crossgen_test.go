@@ -1,0 +1,296 @@
+package repro
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueryPinsGenerationAcrossUpdate: a query that is mid-flight when an
+// Update installs the next generation keeps reading the generation it
+// started on, byte-identically — and a query issued after the install
+// sees the new one.
+func TestQueryPinsGenerationAcrossUpdate(t *testing.T) {
+	edges, err := Generate("planted:n=120,m=700,k=10", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5}
+	g, err := Build(FromEdges(edges), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	q := Query{Seed: 6, Workers: 2}
+	runQuery := func(h *Graph) (string, Result, error) {
+		var b strings.Builder
+		res, err := h.TrianglesFunc(nil, q, func(a, x, c uint32) {
+			fmt.Fprintf(&b, "%d,%d,%d;", a, x, c)
+		})
+		return b.String(), res, err
+	}
+	wantTr, wantRes, err := runQuery(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Gate the pinned query open after its first emission, install the
+	// update while it hangs, then let it finish.
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	type outcome struct {
+		tr  string
+		res Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var b strings.Builder
+		first := true
+		res, err := g.TrianglesFunc(nil, q, func(a, x, c uint32) {
+			if first {
+				first = false
+				close(started)
+				<-gate
+			}
+			fmt.Fprintf(&b, "%d,%d,%d;", a, x, c)
+		})
+		done <- outcome{b.String(), res, err}
+	}()
+
+	<-started
+	delta := Delta{Add: [][2]uint32{{900, 901}, {901, 902}, {900, 902}}, Remove: [][2]uint32{edges[0]}}
+	ures, err := g.Update(nil, delta)
+	if err != nil {
+		t.Fatalf("update during in-flight query: %v", err)
+	}
+	if ures.Generation != 1 {
+		t.Fatalf("installed generation %d, want 1", ures.Generation)
+	}
+	close(gate)
+
+	var got outcome
+	select {
+	case got = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pinned query did not finish")
+	}
+	if got.err != nil {
+		t.Fatalf("pinned query: %v", got.err)
+	}
+	if got.tr != wantTr {
+		t.Fatal("pinned query transcript changed under a concurrent update")
+	}
+	ngot, _ := normalizeResult(got.res)
+	nwant, _ := normalizeResult(wantRes)
+	if !reflect.DeepEqual(ngot, nwant) {
+		t.Fatalf("pinned query Result changed under a concurrent update:\nwant %+v\ngot  %+v", nwant, ngot)
+	}
+
+	// A fresh query runs on the new generation: identical to a fresh
+	// build of the updated set.
+	model := newEdgeSet(edges)
+	model.apply(delta)
+	fresh, err := Build(FromEdges(model.slice()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	newTr, newRes, err := runQuery(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshTr, freshRes, err := runQuery(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newTr != freshTr {
+		t.Fatal("post-update query transcript differs from fresh build")
+	}
+	nnew, _ := normalizeResult(newRes)
+	nfresh, _ := normalizeResult(freshRes)
+	nnew.CanonIOs, nfresh.CanonIOs = 0, 0
+	if !reflect.DeepEqual(nnew, nfresh) {
+		t.Fatalf("post-update query Result differs from fresh build:\nupdated %+v\nfresh   %+v", nnew, nfresh)
+	}
+}
+
+// TestConcurrentQueriesAcrossUpdates hammers the MVCC surface: goroutines
+// query continuously while updates install new generations. Every query
+// must report a Result byte-identical to the serialized baseline of
+// *some* generation — identified by Result.Edges, which the scenario
+// keeps distinct per generation — never a half-installed mix.
+func TestConcurrentQueriesAcrossUpdates(t *testing.T) {
+	edges, err := Generate("gnm:n=120,m=700", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5}
+	deltas := []Delta{
+		{Add: [][2]uint32{{800, 801}, {801, 802}, {800, 802}}},
+		{Remove: [][2]uint32{edges[0], edges[1]}},
+		{Add: [][2]uint32{{803, 804}, {804, 805}}, Remove: [][2]uint32{edges[2]}},
+	}
+
+	// Serialized baselines, one per generation.
+	type baseline struct {
+		res Result
+		sum IOStats
+	}
+	q := Query{Seed: 17, Workers: 2}
+	byEdges := map[int64]baseline{}
+	model := newEdgeSet(edges)
+	addBaseline := func() {
+		ref, err := Build(FromEdges(model.slice()), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ref.Close()
+		res, err := ref.TrianglesFunc(nil, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nres, sum := normalizeResult(res)
+		nres.CanonIOs = 0
+		if _, dup := byEdges[nres.Edges]; dup {
+			t.Fatalf("scenario broken: two generations share edge count %d", nres.Edges)
+		}
+		byEdges[nres.Edges] = baseline{nres, sum}
+	}
+	addBaseline()
+	for _, d := range deltas {
+		model.apply(d)
+		addBaseline()
+	}
+
+	g, err := Build(FromEdges(edges), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := g.TrianglesFunc(nil, q, nil)
+				if err != nil {
+					t.Errorf("query under updates: %v", err)
+					return
+				}
+				nres, sum := normalizeResult(res)
+				nres.CanonIOs = 0
+				want, ok := byEdges[nres.Edges]
+				if !ok {
+					t.Errorf("query saw unknown generation (E=%d)", nres.Edges)
+					return
+				}
+				if !reflect.DeepEqual(nres, want.res) || sum != want.sum {
+					t.Errorf("query on generation E=%d diverged from its serialized baseline", nres.Edges)
+					return
+				}
+			}
+		}()
+	}
+	for i, d := range deltas {
+		if _, err := g.Update(nil, d); err != nil {
+			t.Errorf("update %d under queries: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if g.Generation() != uint64(len(deltas)) {
+		t.Fatalf("generation %d after %d updates", g.Generation(), len(deltas))
+	}
+}
+
+// TestGenerationFilesLifecycle pins the disk contract: each update
+// generation lives in <DiskPath>.g<n> while referenced, a superseded
+// generation's file is removed the moment its last reader drains, Close
+// removes the final generation's file, and the Build image at DiskPath
+// survives everything.
+func TestGenerationFilesLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5, DiskPath: filepath.Join(dir, "em.bin")}
+	edges, err := Generate("gnm:n=100,m=500", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(FromEdges(edges), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exists := func(path string) bool {
+		m, _ := filepath.Glob(path)
+		return len(m) > 0
+	}
+	gen1 := opts.DiskPath + ".g1"
+	gen2 := opts.DiskPath + ".g2"
+
+	if _, err := g.Update(nil, Delta{Add: [][2]uint32{{700, 701}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !exists(gen1) {
+		t.Fatal("generation 1 file missing after install")
+	}
+
+	// Pin generation 1 with a gated query, then supersede it.
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		first := true
+		_, err := g.TrianglesFunc(nil, Query{Seed: 2}, func(_, _, _ uint32) {
+			if first {
+				first = false
+				close(started)
+				<-gate
+			}
+		})
+		done <- err
+	}()
+	<-started
+	if _, err := g.Update(nil, Delta{Add: [][2]uint32{{702, 703}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !exists(gen1) {
+		t.Fatal("generation 1 file removed while a query still reads it")
+	}
+	if !exists(gen2) {
+		t.Fatal("generation 2 file missing after install")
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("pinned query: %v", err)
+	}
+	if exists(gen1) {
+		t.Fatal("generation 1 file not removed after its last reader drained")
+	}
+
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if exists(gen2) {
+		t.Fatal("current generation file not removed by Close")
+	}
+	if !exists(opts.DiskPath) {
+		t.Fatal("Build image at DiskPath removed — it must outlive the handle")
+	}
+	if leftovers, _ := filepath.Glob(opts.DiskPath + ".*"); len(leftovers) > 0 {
+		t.Fatalf("stray files after Close: %v", leftovers)
+	}
+}

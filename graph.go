@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 
@@ -53,14 +54,23 @@ func FromTextReader(r io.Reader) Source { return textReaderSource{r} }
 // "gnm:n=1000,m=8000" (see Generate); the generator seed is Options.Seed.
 func FromSpec(spec string) Source { return specSource(spec) }
 
-// Graph is a reusable handle to a canonicalized graph frozen in a
-// simulated (or file-backed) external memory. Build pays the O(sort(E))
-// canonicalization of Section 1.3 exactly once and freezes the result
-// into an immutable read-only core; every query — Triangles, Cliques,
-// Match — then runs on its own session: a private M-word cache, private
-// statistics, and a private scratch allocator layered over the shared
-// core (the PEM model of P processors with private internal memories over
-// a shared disk, one level up from the worker shards inside a query).
+// Graph is a reusable, updatable handle to a canonicalized graph frozen
+// in a simulated (or file-backed) external memory. Build pays the
+// O(sort(E)) canonicalization of Section 1.3 exactly once and freezes the
+// result into an immutable read-only core; every query — Triangles,
+// Cliques, Match — then runs on its own session: a private M-word cache,
+// private statistics, and a private scratch allocator layered over the
+// shared core (the PEM model of P processors with private internal
+// memories over a shared disk, one level up from the worker shards inside
+// a query).
+//
+// The handle is versioned: Update merges a batched edge delta against the
+// current core and atomically installs a new immutable generation whose
+// image is byte-identical to a fresh Build of the updated edge set. Every
+// query pins the generation it started on, so in-flight queries keep
+// reading their version while updates install new ones (snapshot
+// isolation); a superseded generation's core is released when the last
+// query pinning it finishes.
 //
 // Because sessions share nothing mutable, any number of queries —
 // different patterns, k's, seeds, contexts — may run concurrently on one
@@ -74,31 +84,51 @@ func FromSpec(spec string) Source { return specSource(spec) }
 // queries, so a Close from inside one deadlocks).
 //
 // The handle's only lock is a close-guard: Close marks the handle closed
-// (new queries fail with ErrGraphClosed), waits for active queries to
-// drain, and releases the core.
+// (new queries fail with ErrGraphClosed), waits for active queries and
+// updates to drain, and releases every generation core.
 type Graph struct {
-	opts     Options // defaulted
-	canonIOs uint64
+	opts Options // defaulted
 
-	// The immutable canonical core: the external-memory image at the
-	// allocation watermark after canonicalization, plus the (space-
-	// independent) canonical metadata. Sessions rebind the extents into
-	// their own Space; rankToID is shared read-only.
-	core        extmem.Core
-	coreWords   int64 // block-rounded watermark: session scratch starts here
-	coreFile    *extmem.FileCore
+	mu     sync.Mutex
+	drain  sync.Cond   // signalled when active drops to zero
+	cur    *generation // current generation; survives Close for the accessors
+	active int         // live query sessions and updates
+	seq    uint64      // per-session scratch-file suffix
+	closed bool
+	// releaseErr is the first failure releasing a superseded
+	// generation's core (which happens on a query drain, with nobody to
+	// report to); Close surfaces it.
+	releaseErr error
+
+	// updateMu serializes Update calls; queries never take it.
+	updateMu sync.Mutex
+}
+
+// generation is one immutable version of the graph: the frozen
+// external-memory image plus the canonical metadata, refcounted by the
+// sessions reading it and by the handle's current pointer. Disk-backed
+// update generations own a file (<DiskPath>.g<n>) that is removed when
+// the refcount drains; the Build image at DiskPath itself outlives the
+// handle, as before.
+type generation struct {
+	gen uint64
+
+	core      extmem.Core
+	coreFile  *extmem.FileCore
+	path      string // file to remove on release ("" for gen 0 and memory graphs)
+	coreWords int64  // block-rounded watermark: session scratch starts here
+	layout    graph.CanonLayout
+
 	numVertices int
 	edgesBase   int64
 	edgesLen    int64
 	degBase     int64
 	degLen      int64
 	rankToID    []uint32
+	canonIOs    uint64
 
-	mu     sync.Mutex
-	drain  sync.Cond // signalled when active drops to zero
-	active int       // live query sessions
-	seq    uint64    // per-session scratch-file suffix
-	closed bool
+	refs     int // sessions reading this generation, +1 while current
+	released bool
 }
 
 // Build ingests edges from src, canonicalizes them once — O(sort(E))
@@ -132,6 +162,7 @@ func Build(src Source, opts Options) (*Graph, error) {
 	for _, e := range edges {
 		el.Add(e[0], e[1])
 	}
+	rawLen := int64(el.Len())
 	var cg graph.Canonical
 	var canonWS []extmem.Stats
 	if opts.SequentialCanon {
@@ -152,8 +183,7 @@ func Build(src Source, opts Options) (*Graph, error) {
 		canonStats.Add(w)
 	}
 
-	g := &Graph{
-		opts:        opts,
+	gen := &generation{
 		canonIOs:    canonStats.IOs(),
 		numVertices: cg.NumVertices,
 		edgesBase:   cg.Edges.Base(),
@@ -161,8 +191,8 @@ func Build(src Source, opts Options) (*Graph, error) {
 		degBase:     cg.Degrees.Base(),
 		degLen:      cg.Degrees.Len(),
 		rankToID:    cg.RankToID,
+		refs:        1, // the handle's current pointer
 	}
-	g.drain.L = &g.mu
 
 	// Freeze the canonicalized region [0, mark) into the immutable core.
 	// Memory-backed graphs take the one Snapshot here (writing back the
@@ -172,7 +202,12 @@ func Build(src Source, opts Options) (*Graph, error) {
 	// core from it read-only, so the frozen graph does not have to fit in
 	// process memory.
 	mark := sp.Mark()
-	g.coreWords = (mark + int64(opts.BlockWords) - 1) &^ int64(opts.BlockWords-1)
+	gen.layout = graph.LayoutFor(rawLen, cg.Edges.Len(), int64(cg.NumVertices), opts.BlockWords)
+	if gen.layout.EdgeOut != gen.edgesBase || gen.layout.DegOut != gen.degBase || gen.layout.Mark != mark {
+		return nil, fmt.Errorf("repro: internal: canonical layout drift (edges %d/%d, degrees %d/%d, mark %d/%d)",
+			gen.layout.EdgeOut, gen.edgesBase, gen.layout.DegOut, gen.degBase, gen.layout.Mark, mark)
+	}
+	gen.coreWords = (mark + int64(opts.BlockWords) - 1) &^ int64(opts.BlockWords-1)
 	if opts.DiskPath != "" {
 		sp.Flush()
 		if err := sp.Close(); err != nil {
@@ -182,11 +217,14 @@ func Build(src Source, opts Options) (*Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.core, g.coreFile = fc, fc
+		gen.core, gen.coreFile = fc, fc
 	} else {
-		g.core = extmem.WordsCore(sp.Snapshot(sp.ExtentAt(0, mark)))
+		gen.core = extmem.WordsCore(sp.Snapshot(sp.ExtentAt(0, mark)))
 		sp.Close()
 	}
+
+	g := &Graph{opts: opts, cur: gen}
+	g.drain.L = &g.mu
 	return g, nil
 }
 
@@ -198,102 +236,201 @@ func (o Options) workers() int {
 }
 
 // session is the per-query execution state: a private Space layered over
-// the handle's immutable core, with the canonical extents rebound into
-// it. Acquired at query start, closed (scratch file removed, refcount
-// dropped) when the query returns.
+// one generation's immutable core, with the canonical extents rebound
+// into it. Acquired at query start, closed (scratch file removed, pinned
+// generation unpinned) when the query returns.
 type session struct {
-	g  *Graph
-	sp *extmem.Space
-	cg graph.Canonical
+	g   *Graph
+	gen *generation
+	sp  *extmem.Space
+	cg  graph.Canonical
 }
 
-// acquire opens a new session against the handle, failing with
-// ErrGraphClosed after Close.
+// acquire opens a new session against the handle's current generation,
+// failing with ErrGraphClosed after Close. The session pins its
+// generation: updates installed while the query runs do not affect it.
 func (g *Graph) acquire() (*session, error) {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
 		return nil, ErrGraphClosed
 	}
+	gen := g.cur
+	gen.refs++
 	g.active++
 	g.seq++
 	scratch := ""
 	if g.opts.DiskPath != "" {
 		scratch = fmt.Sprintf("%s.q%d", g.opts.DiskPath, g.seq)
 	}
-	core := g.core
 	g.mu.Unlock()
 
 	cfg := extmem.Config{M: g.opts.MemoryWords, B: g.opts.BlockWords}
-	sp, err := extmem.NewSessionSpace(cfg, core, g.coreWords, scratch)
+	sp, err := extmem.NewSessionSpace(cfg, gen.core, gen.coreWords, scratch)
 	if err != nil {
-		g.releaseRef()
+		g.mu.Lock()
+		rel := g.unpinLocked(gen)
+		g.releaseRefLocked()
+		g.mu.Unlock()
+		g.releaseDetached(rel)
 		return nil, err
 	}
 	return &session{
-		g:  g,
-		sp: sp,
+		g:   g,
+		gen: gen,
+		sp:  sp,
 		cg: graph.Canonical{
-			Edges:       sp.ExtentAt(g.edgesBase, g.edgesLen),
-			NumVertices: g.numVertices,
-			Degrees:     sp.ExtentAt(g.degBase, g.degLen),
-			RankToID:    g.rankToID,
+			Edges:       sp.ExtentAt(gen.edgesBase, gen.edgesLen),
+			NumVertices: gen.numVertices,
+			Degrees:     sp.ExtentAt(gen.degBase, gen.degLen),
+			RankToID:    gen.rankToID,
 		},
 	}, nil
 }
 
-// close releases the session's private machine and drops the handle
-// reference, waking a pending Close when the last session drains.
+// close releases the session's private machine, unpins its generation
+// (releasing a superseded generation's core when its last reader drains),
+// and wakes a pending Close when the last session finishes. The core
+// release — file syscalls for disk generations — runs outside the lock,
+// before the drain signal, so Close still observes any release error.
 func (s *session) close() {
 	s.sp.Close()
-	s.g.releaseRef()
+	s.g.mu.Lock()
+	rel := s.g.unpinLocked(s.gen)
+	s.g.mu.Unlock()
+	s.g.releaseDetached(rel)
+	s.g.mu.Lock()
+	s.g.releaseRefLocked()
+	s.g.mu.Unlock()
 }
 
-func (g *Graph) releaseRef() {
-	g.mu.Lock()
+func (g *Graph) releaseRefLocked() {
 	g.active--
 	if g.active == 0 {
 		g.drain.Broadcast()
 	}
-	g.mu.Unlock()
 }
 
-// Close marks the handle closed — queries issued from now on return
-// ErrGraphClosed — waits for the active queries to finish, and releases
-// the core (closing the canonical-image file of disk-backed graphs).
-// Closing an already-closed Graph is a no-op. Close must not be called
-// from inside an emit callback or iterator body of this handle: it would
-// wait for the very query it is running under.
-//
-// The handle's canonical metadata outlives Close: NumVertices, NumEdges,
-// CanonIOs, and Options keep answering with their build-time values.
-func (g *Graph) Close() error {
-	g.mu.Lock()
-	g.closed = true
-	for g.active > 0 {
-		g.drain.Wait()
-	}
-	fc := g.coreFile
-	g.core, g.coreFile = nil, nil
-	g.mu.Unlock()
-	if fc != nil {
-		return fc.Close()
+// unpinLocked drops one reference to gen and, when no reader is left and
+// it is no longer the current generation, hands it back for the caller
+// to release with releaseDetached once the lock is dropped — releasing
+// means file syscalls for disk generations, which must not stall every
+// concurrent acquire behind g.mu. Nothing can re-pin the detached
+// generation: acquire only pins g.cur, and a superseded generation never
+// becomes current again.
+func (g *Graph) unpinLocked(gen *generation) *generation {
+	gen.refs--
+	if gen.refs == 0 && gen != g.cur {
+		return gen
 	}
 	return nil
 }
 
-// NumVertices is the number of non-isolated vertices after deduplication.
-// Like all canonical-metadata accessors it remains valid after Close.
-func (g *Graph) NumVertices() int { return g.numVertices }
+// releaseDetached releases a generation handed out by unpinLocked (nil is
+// a no-op). The failure has no caller to report to — the draining query
+// already returned its Result — so the first one is kept for Close.
+func (g *Graph) releaseDetached(gen *generation) {
+	if gen == nil {
+		return
+	}
+	if err := gen.release(); err != nil {
+		g.mu.Lock()
+		if g.releaseErr == nil {
+			g.releaseErr = err
+		}
+		g.mu.Unlock()
+	}
+}
 
-// NumEdges is the number of canonical (deduplicated) edges. It remains
-// valid after Close.
-func (g *Graph) NumEdges() int64 { return g.edgesLen }
+// release frees the generation's core: superseded disk generations close
+// and remove their <DiskPath>.g<n> file; the Build image at DiskPath is
+// closed but kept. The canonical metadata survives for the accessors.
+func (gen *generation) release() error {
+	if gen.released {
+		return nil
+	}
+	gen.released = true
+	gen.core = nil
+	var err error
+	if gen.coreFile != nil {
+		err = gen.coreFile.Close()
+		gen.coreFile = nil
+	}
+	if gen.path != "" {
+		if rmErr := os.Remove(gen.path); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
 
-// CanonIOs is the I/O cost of the one-time canonicalization paid by
-// Build; every Result of this handle reports the same value. It remains
-// valid after Close.
-func (g *Graph) CanonIOs() uint64 { return g.canonIOs }
+// Close marks the handle closed — queries issued from now on return
+// ErrGraphClosed — waits for the active queries and updates to finish,
+// and releases every generation: superseded cores were already dropped
+// when their last reader drained, and the current one is released here
+// (closing the canonical-image file of disk-backed graphs and removing
+// any <DiskPath>.g<n> update image; the Build image at DiskPath is kept).
+// Closing an already-closed Graph is a no-op. Close also surfaces the
+// first failure, if any, from releasing a superseded generation earlier
+// in the handle's life (those releases run when a query drains, where no
+// caller can receive the error). Close must not be called from inside an
+// emit callback or iterator body of this handle: it would wait for the
+// very query it is running under.
+//
+// The handle's canonical metadata outlives Close: NumVertices, NumEdges,
+// CanonIOs, Generation, and Options keep answering with the values of the
+// generation that was current at Close time.
+func (g *Graph) Close() error {
+	g.mu.Lock()
+	first := !g.closed
+	g.closed = true
+	for g.active > 0 {
+		g.drain.Wait()
+	}
+	var err error
+	if first {
+		g.cur.refs-- // the current pointer's own reference
+		err = errors.Join(g.cur.release(), g.releaseErr)
+	}
+	g.mu.Unlock()
+	return err
+}
+
+// NumVertices is the number of non-isolated vertices after deduplication,
+// of the current generation. Like all canonical-metadata accessors it
+// remains valid after Close.
+func (g *Graph) NumVertices() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur.numVertices
+}
+
+// NumEdges is the number of canonical (deduplicated) edges of the current
+// generation. It remains valid after Close.
+func (g *Graph) NumEdges() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur.edgesLen
+}
+
+// CanonIOs is the one-time I/O cost paid to produce the current
+// generation's canonical image: the Build canonicalization plus every
+// delta merge installed so far (each Update adds its MergeIOs). Every
+// Result of a query pinned to a generation reports that generation's
+// value. It remains valid after Close.
+func (g *Graph) CanonIOs() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur.canonIOs
+}
+
+// Generation is the current generation number: 0 after Build,
+// incremented by every effective Update. It remains valid after Close.
+func (g *Graph) Generation() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur.gen
+}
 
 // Options returns the (defaulted) build options of the handle. It remains
 // valid after Close.

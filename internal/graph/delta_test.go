@@ -1,0 +1,287 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/emsort"
+	"repro/internal/extmem"
+)
+
+// extentWords reads an extent into a native slice for comparison.
+func extentWords(ext extmem.Extent) []extmem.Word {
+	out := make([]extmem.Word, ext.Len())
+	for i := int64(0); i < ext.Len(); i++ {
+		out[i] = ext.Read(i)
+	}
+	return out
+}
+
+// canonSet computes the deduplicated sorted edge set of an EdgeList
+// natively.
+func canonSet(el EdgeList) []extmem.Word {
+	set := map[extmem.Word]struct{}{}
+	for _, e := range el.Edges {
+		set[e] = struct{}{}
+	}
+	out := make([]extmem.Word, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestLayoutMatchesCanonicalize pins LayoutFor to the allocation sequence
+// Canonicalize actually performs — the invariant every Update rests on:
+// the returned extents sit at the computed bases, the watermark matches,
+// and the four merge-substrate regions hold exactly the artifacts
+// MergeDelta reads (id-sorted edges, sorted endpoints, rank-ordered
+// vertex records, the id→rank table).
+func TestLayoutMatchesCanonicalize(t *testing.T) {
+	cases := []EdgeList{
+		Clique(9),
+		GNM(40, 160, 7),
+		GNM(300, 900, 3),
+		{}, // empty input: the all-zero layout
+	}
+	// Duplicate edges in the raw input make m > e.
+	withDups := GNM(50, 200, 11)
+	withDups.Edges = append(withDups.Edges, withDups.Edges[:37]...)
+	cases = append(cases, withDups)
+
+	for ci, el := range cases {
+		sp := extmem.NewSpace(extmem.Config{M: 1 << 12, B: 1 << 6})
+		cg := CanonicalizeList(sp, el)
+		lay := LayoutFor(int64(el.Len()), cg.Edges.Len(), int64(cg.NumVertices), sp.Config().B)
+		if cg.Edges.Base() != lay.EdgeOut || cg.Degrees.Base() != lay.DegOut || sp.Mark() != lay.Mark {
+			t.Fatalf("case %d: layout drift: edges %d/%d degrees %d/%d mark %d/%d",
+				ci, cg.Edges.Base(), lay.EdgeOut, cg.Degrees.Base(), lay.DegOut, sp.Mark(), lay.Mark)
+		}
+		if el.Len() == 0 {
+			continue
+		}
+
+		set := canonSet(el)
+		e := int64(len(set))
+		if cg.Edges.Len() != e {
+			t.Fatalf("case %d: %d canonical edges, want %d", ci, cg.Edges.Len(), e)
+		}
+		got := extentWords(sp.ExtentAt(lay.Dedup, e))
+		for i, w := range got {
+			if w != set[i] {
+				t.Fatalf("case %d: dedup region word %d = %x, want %x", ci, i, w, set[i])
+			}
+		}
+
+		var ends []extmem.Word
+		deg := map[uint32]int{}
+		for _, w := range set {
+			ends = append(ends, extmem.Word(U(w)), extmem.Word(V(w)))
+			deg[U(w)]++
+			deg[V(w)]++
+		}
+		sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+		for i, w := range extentWords(sp.ExtentAt(lay.Ends, 2*e)) {
+			if w != ends[i] {
+				t.Fatalf("case %d: ends region word %d = %d, want %d", ci, i, w, ends[i])
+			}
+		}
+
+		var recs []extmem.Word
+		for id, d := range deg {
+			recs = append(recs, extmem.Word(d)<<32|extmem.Word(id))
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i] < recs[j] })
+		nv := int64(len(recs))
+		if int64(cg.NumVertices) != nv {
+			t.Fatalf("case %d: %d vertices, want %d", ci, cg.NumVertices, nv)
+		}
+		for i, w := range extentWords(sp.ExtentAt(lay.ByDeg, nv)) {
+			if w != recs[i] {
+				t.Fatalf("case %d: byDeg region word %d = %x, want %x", ci, i, w, recs[i])
+			}
+		}
+
+		var byID []extmem.Word
+		for r, w := range recs {
+			byID = append(byID, extmem.Word(uint32(w))<<32|extmem.Word(r))
+		}
+		sort.Slice(byID, func(i, j int) bool { return byID[i] < byID[j] })
+		for i, w := range extentWords(sp.ExtentAt(lay.RankByID, nv)) {
+			if w != byID[i] {
+				t.Fatalf("case %d: rankByID region word %d = %x, want %x", ci, i, w, byID[i])
+			}
+		}
+	}
+}
+
+// applyDelta computes (set \ removes) ∪ adds natively.
+func applyDelta(set, adds, removes []extmem.Word) []extmem.Word {
+	m := map[extmem.Word]struct{}{}
+	for _, w := range set {
+		m[w] = struct{}{}
+	}
+	for _, w := range removes {
+		delete(m, w)
+	}
+	for _, w := range adds {
+		m[w] = struct{}{}
+	}
+	out := make([]extmem.Word, 0, len(m))
+	for w := range m {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestMergeDeltaMatchesRecanonicalization: for random base graphs and
+// random add/remove mixes, every artifact MergeDelta produces must be
+// word-identical to what a from-scratch canonicalization of the updated
+// edge set produces — including the merge substrate the *next* delta
+// would consume, so equivalence survives arbitrary update sequences.
+func TestMergeDeltaMatchesRecanonicalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seqSorter := func(ext extmem.Extent) error {
+		emsort.SortRecords(ext, 1, emsort.Identity)
+		return nil
+	}
+
+	for trial := 0; trial < 12; trial++ {
+		base := GNM(60+trial*10, 180+trial*40, uint64(trial))
+		sp := extmem.NewSpace(extmem.Config{M: 1 << 12, B: 1 << 6})
+		cg := CanonicalizeList(sp, base)
+		e, nv := cg.Edges.Len(), int64(cg.NumVertices)
+		lay := LayoutFor(int64(base.Len()), e, nv, sp.Config().B)
+		view := GenView{
+			IDEdges:  sp.ExtentAt(lay.Dedup, e),
+			Ends:     sp.ExtentAt(lay.Ends, 2*e),
+			ByDeg:    sp.ExtentAt(lay.ByDeg, nv),
+			RankByID: sp.ExtentAt(lay.RankByID, nv),
+		}
+
+		set := canonSet(base)
+		var adds, removes []extmem.Word
+		// Removals of existing edges (some repeated), removals of absent
+		// edges (no-ops), adds of new edges (some from brand-new vertex
+		// ids), adds of already-present edges (no-ops), and edges in both
+		// lists (add wins).
+		for i := 0; i < 10 && len(set) > 0; i++ {
+			removes = append(removes, set[rng.Intn(len(set))])
+		}
+		removes = append(removes, removes[0], Pack(9000, 9001))
+		for i := 0; i < 12; i++ {
+			adds = append(adds, Pack(uint32(rng.Intn(90)), uint32(rng.Intn(90)+1000+trial)))
+		}
+		adds = append(adds, set[rng.Intn(len(set))], adds[0], removes[1])
+
+		m, err := MergeDelta(nil, sp, view, adds, removes, seqSorter)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		want := applyDelta(set, adds, removes)
+		var wantAdded, wantRemoved int64
+		inOld := map[extmem.Word]struct{}{}
+		for _, w := range set {
+			inOld[w] = struct{}{}
+		}
+		inNew := map[extmem.Word]struct{}{}
+		for _, w := range want {
+			inNew[w] = struct{}{}
+		}
+		for _, w := range want {
+			if _, ok := inOld[w]; !ok {
+				wantAdded++
+			}
+		}
+		for _, w := range set {
+			if _, ok := inNew[w]; !ok {
+				wantRemoved++
+			}
+		}
+		if m.Added != wantAdded || m.Removed != wantRemoved {
+			t.Fatalf("trial %d: effective counts %d/%d, want %d/%d", trial, m.Added, m.Removed, wantAdded, wantRemoved)
+		}
+
+		// Reference: canonicalize the updated set from scratch.
+		var el2 EdgeList
+		for _, w := range want {
+			el2.Add(U(w), V(w))
+		}
+		sp2 := extmem.NewSpace(extmem.Config{M: 1 << 12, B: 1 << 6})
+		cg2 := CanonicalizeList(sp2, el2)
+		lay2 := LayoutFor(int64(el2.Len()), cg2.Edges.Len(), int64(cg2.NumVertices), sp2.Config().B)
+
+		if m.NumVertices != cg2.NumVertices {
+			t.Fatalf("trial %d: %d vertices, want %d", trial, m.NumVertices, cg2.NumVertices)
+		}
+		if len(m.RankToID) != len(cg2.RankToID) {
+			t.Fatalf("trial %d: rankToID length %d, want %d", trial, len(m.RankToID), len(cg2.RankToID))
+		}
+		for i := range m.RankToID {
+			if m.RankToID[i] != cg2.RankToID[i] {
+				t.Fatalf("trial %d: rankToID[%d] = %d, want %d", trial, i, m.RankToID[i], cg2.RankToID[i])
+			}
+		}
+		compare := func(name string, got extmem.Extent, wantExt extmem.Extent) {
+			gw, ww := extentWords(got), extentWords(wantExt)
+			if len(gw) != len(ww) {
+				t.Fatalf("trial %d: %s length %d, want %d", trial, name, len(gw), len(ww))
+			}
+			for i := range gw {
+				if gw[i] != ww[i] {
+					t.Fatalf("trial %d: %s word %d = %x, want %x", trial, name, i, gw[i], ww[i])
+				}
+			}
+		}
+		e2, nv2 := cg2.Edges.Len(), int64(cg2.NumVertices)
+		compare("edges", m.Edges, cg2.Edges)
+		compare("degrees", m.Degrees, cg2.Degrees)
+		compare("idEdges", m.IDEdges, sp2.ExtentAt(lay2.Dedup, e2))
+		compare("ends", m.Ends, sp2.ExtentAt(lay2.Ends, 2*e2))
+		compare("byDeg", m.ByDeg, sp2.ExtentAt(lay2.ByDeg, nv2))
+		compare("rankByID", m.RankByID, sp2.ExtentAt(lay2.RankByID, nv2))
+	}
+}
+
+// TestMergeDeltaDegenerate covers the update edge cases: a delta that
+// removes every edge (empty next generation) and a delta applied to an
+// empty graph.
+func TestMergeDeltaDegenerate(t *testing.T) {
+	seqSorter := func(ext extmem.Extent) error {
+		emsort.SortRecords(ext, 1, emsort.Identity)
+		return nil
+	}
+
+	base := Clique(5)
+	sp := extmem.NewSpace(extmem.Config{M: 1 << 12, B: 1 << 6})
+	cg := CanonicalizeList(sp, base)
+	lay := LayoutFor(int64(base.Len()), cg.Edges.Len(), int64(cg.NumVertices), sp.Config().B)
+	view := GenView{
+		IDEdges:  sp.ExtentAt(lay.Dedup, cg.Edges.Len()),
+		Ends:     sp.ExtentAt(lay.Ends, 2*cg.Edges.Len()),
+		ByDeg:    sp.ExtentAt(lay.ByDeg, int64(cg.NumVertices)),
+		RankByID: sp.ExtentAt(lay.RankByID, int64(cg.NumVertices)),
+	}
+	m, err := MergeDelta(nil, sp, view, nil, canonSet(base), seqSorter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Edges.Len() != 0 || m.NumVertices != 0 || m.Removed != 10 || m.Added != 0 {
+		t.Fatalf("remove-all: edges=%d nv=%d added=%d removed=%d", m.Edges.Len(), m.NumVertices, m.Added, m.Removed)
+	}
+
+	// Empty old generation: everything added is new.
+	sp3 := extmem.NewSpace(extmem.Config{M: 1 << 12, B: 1 << 6})
+	empty := GenView{IDEdges: sp3.Alloc(0), Ends: sp3.Alloc(0), ByDeg: sp3.Alloc(0), RankByID: sp3.Alloc(0)}
+	m3, err := MergeDelta(nil, sp3, empty, []extmem.Word{Pack(1, 2), Pack(2, 3), Pack(1, 2)}, nil, seqSorter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Added != 2 || m3.Edges.Len() != 2 || m3.NumVertices != 3 {
+		t.Fatalf("from-empty: added=%d edges=%d nv=%d", m3.Added, m3.Edges.Len(), m3.NumVertices)
+	}
+}

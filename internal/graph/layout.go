@@ -1,0 +1,85 @@
+package graph
+
+// CanonLayout is the address map of the external-memory image a fresh
+// canonicalization leaves below its allocation watermark: one base per
+// extent Canonicalize allocates, in allocation order. It is a pure
+// function of the raw edge count m, the deduplicated edge count e, the
+// non-isolated vertex count nv, and the block size B — Canonicalize's
+// bump allocator rounds every base up to a block boundary and the sorters
+// restore the watermark they found (Mark/Release discipline) — which is
+// what lets an Update reconstruct a fresh-Build image for a merged edge
+// set without running the canonicalization: it computes the layout,
+// writes the merged artifacts at their fresh-Build addresses, and leaves
+// the scratch regions (whose contents no reader ever consults) empty.
+//
+// Four of the regions double as the merge substrate of MergeDelta,
+// because Canonicalize leaves them holding exactly the artifacts an
+// incremental re-derivation needs:
+//
+//	Dedup    [0, e)  the deduplicated edge set, packed by original id
+//	         and sorted — the representation deltas merge against;
+//	Ends     [0, 2e) the sorted endpoint occurrences — run-length
+//	         encoding them yields every vertex's degree in id order;
+//	ByDeg    [0, nv) the (deg<<32|id) vertex records in rank order;
+//	RankByID [0, nv) the (id<<32|rank) records in id order.
+//
+// Build asserts the computed DegOut/EdgeOut bases and Mark against the
+// extents Canonicalize actually returned, so any drift between this
+// formula and the allocation sequence fails fast instead of corrupting a
+// later Update.
+type CanonLayout struct {
+	// Raw is the input edge list written by EdgeList.Write (m words).
+	Raw int64
+	// Work is the sorted copy of the raw list (m words).
+	Work int64
+	// Dedup holds the deduplicated id-sorted edges in its first e words.
+	Dedup int64
+	// Ends is the sorted endpoint-occurrence list (2e words).
+	Ends int64
+	// ByDeg holds the (deg<<32|id) records, rank-ordered, in its first
+	// nv words.
+	ByDeg int64
+	// RankByID is the (id<<32|rank) table sorted by id (nv words).
+	RankByID int64
+	// Degrees is the by-rank degree scratch (nv words).
+	Degrees int64
+	// Pass1 and Pass2 are the two relabeling passes (e words each).
+	Pass1, Pass2 int64
+	// Canon is the rank-packed edge scratch before the final copy (e words).
+	Canon int64
+	// DegOut and EdgeOut are the canonical outputs Canonicalize returns.
+	DegOut, EdgeOut int64
+	// Mark is the allocation watermark after EdgeOut — the image size.
+	Mark int64
+}
+
+// LayoutFor computes the canonicalization image layout for a raw input of
+// m edges that deduplicates to e edges over nv non-isolated vertices on
+// blocks of B words. m == 0 yields the all-zero layout of Canonicalize's
+// empty-input path.
+func LayoutFor(m, e, nv int64, B int) CanonLayout {
+	var l CanonLayout
+	if m == 0 {
+		return l
+	}
+	var size int64
+	alloc := func(n int64) int64 {
+		base := (size + int64(B) - 1) &^ int64(B-1)
+		size = base + n
+		return base
+	}
+	l.Raw = alloc(m)
+	l.Work = alloc(m)
+	l.Dedup = alloc(m)
+	l.Ends = alloc(2 * e)
+	l.ByDeg = alloc(2 * e)
+	l.RankByID = alloc(nv)
+	l.Degrees = alloc(nv)
+	l.Pass1 = alloc(e)
+	l.Pass2 = alloc(e)
+	l.Canon = alloc(e)
+	l.DegOut = alloc(nv)
+	l.EdgeOut = alloc(e)
+	l.Mark = size
+	return l
+}

@@ -1,0 +1,186 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestQueryLimitTriangles: Query.Limit stops a triangle query cleanly
+// after N emissions — the delivered stream is a prefix of the unlimited
+// run, the partial Result counts exactly N, and no error is reported —
+// at Workers 1 and 4, for both a parallel and a sequential algorithm.
+func TestQueryLimitTriangles(t *testing.T) {
+	g, err := Build(FromSpec("planted:n=200,m=1400,k=12"), Options{
+		MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	for _, algo := range []Algorithm{CacheAware, CacheOblivious} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("%v/w%d", algo, workers)
+			base := Query{Algorithm: algo, Seed: 9, Workers: workers}
+			var full strings.Builder
+			fullRes, err := g.TrianglesFunc(nil, base, func(a, b, c uint32) {
+				fmt.Fprintf(&full, "%d,%d,%d;", a, b, c)
+			})
+			if err != nil {
+				t.Fatalf("%s: full run: %v", name, err)
+			}
+			if fullRes.Triangles < 10 {
+				t.Fatalf("%s: degenerate workload: %d triangles", name, fullRes.Triangles)
+			}
+
+			const limit = 5
+			lq := base
+			lq.Limit = limit
+			var part strings.Builder
+			partRes, err := g.TrianglesFunc(nil, lq, func(a, b, c uint32) {
+				fmt.Fprintf(&part, "%d,%d,%d;", a, b, c)
+			})
+			if err != nil {
+				t.Fatalf("%s: limited run: %v", name, err)
+			}
+			if partRes.Triangles != limit || partRes.Matches != limit {
+				t.Fatalf("%s: limited Result counts %d/%d, want %d", name, partRes.Triangles, partRes.Matches, limit)
+			}
+			if !strings.HasPrefix(full.String(), part.String()) || strings.Count(part.String(), ";") != limit {
+				t.Fatalf("%s: limited emissions are not the %d-prefix of the full stream", name, limit)
+			}
+
+			// A limit the query never reaches changes nothing.
+			uq := base
+			uq.Limit = fullRes.Triangles + 100
+			unRes, err := g.TrianglesFunc(nil, uq, nil)
+			if err != nil {
+				t.Fatalf("%s: under-limit run: %v", name, err)
+			}
+			if unRes.Triangles != fullRes.Triangles {
+				t.Fatalf("%s: under-limit run counted %d, want %d", name, unRes.Triangles, fullRes.Triangles)
+			}
+
+			// Limit exactly at the total: full stream, clean finish.
+			eq := base
+			eq.Limit = fullRes.Triangles
+			eqRes, err := g.TrianglesFunc(nil, eq, nil)
+			if err != nil {
+				t.Fatalf("%s: exact-limit run: %v", name, err)
+			}
+			if eqRes.Triangles != fullRes.Triangles {
+				t.Fatalf("%s: exact-limit run counted %d, want %d", name, eqRes.Triangles, fullRes.Triangles)
+			}
+		}
+	}
+
+	// A limit-stopped Deterministic run is a success and must report its
+	// real worker cap, like the unlimited success path does.
+	dres, err := g.TrianglesFunc(nil, Query{Algorithm: Deterministic, Workers: 4, Limit: 3}, nil)
+	if err != nil {
+		t.Fatalf("limited deterministic run: %v", err)
+	}
+	if dres.Triangles != 3 || dres.Workers != 4 {
+		t.Fatalf("limited deterministic run: Triangles=%d Workers=%d, want 3/4", dres.Triangles, dres.Workers)
+	}
+}
+
+// TestQueryLimitIterators: the iterator forms end cleanly after Limit
+// elements (no error element), and Query.Result carries the partial
+// counts.
+func TestQueryLimitIterators(t *testing.T) {
+	g, err := Build(FromSpec("planted:n=150,m=1000,k=12"), Options{
+		MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	for _, workers := range []int{1, 4} {
+		var res Result
+		n := 0
+		for _, err := range g.Triangles(context.Background(), Query{Seed: 3, Workers: workers, Limit: 4, Result: &res}) {
+			if err != nil {
+				t.Fatalf("w%d: iterator yielded error: %v", workers, err)
+			}
+			n++
+		}
+		if n != 4 || res.Matches != 4 {
+			t.Fatalf("w%d: iterator yielded %d elements, Result.Matches=%d, want 4", workers, n, res.Matches)
+		}
+
+		n = 0
+		for _, err := range g.Cliques(nil, 4, Query{Seed: 3, Workers: workers, Limit: 3}) {
+			if err != nil {
+				t.Fatalf("w%d: clique iterator yielded error: %v", workers, err)
+			}
+			n++
+		}
+		if n != 3 {
+			t.Fatalf("w%d: clique iterator yielded %d elements, want 3", workers, n)
+		}
+	}
+}
+
+// TestQueryLimitSubgraph: Limit applies to the callback forms of Cliques
+// and Match, counting delivered emissions (prefix of the unlimited
+// stream) and finishing without error.
+func TestQueryLimitSubgraph(t *testing.T) {
+	g, err := Build(FromSpec("planted:n=150,m=1000,k=12"), Options{
+		MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	for _, workers := range []int{1, 4} {
+		var full strings.Builder
+		fullRes, err := g.CliquesFunc(nil, 4, Query{Seed: 5, Workers: workers}, func(c []uint32) {
+			fmt.Fprintf(&full, "%v;", c)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fullRes.Matches < 4 {
+			t.Fatalf("degenerate workload: %d cliques", fullRes.Matches)
+		}
+		var part strings.Builder
+		partRes, err := g.CliquesFunc(nil, 4, Query{Seed: 5, Workers: workers, Limit: 2}, func(c []uint32) {
+			fmt.Fprintf(&part, "%v;", c)
+		})
+		if err != nil {
+			t.Fatalf("limited cliques: %v", err)
+		}
+		if partRes.Matches != 2 || !strings.HasPrefix(full.String(), part.String()) {
+			t.Fatalf("w%d: limited cliques: Matches=%d, prefix=%v", workers, partRes.Matches, strings.HasPrefix(full.String(), part.String()))
+		}
+
+		mRes, err := g.MatchFunc(nil, PatternDiamond, Query{Seed: 5, Workers: workers, Limit: 3}, nil)
+		if err != nil {
+			t.Fatalf("limited match: %v", err)
+		}
+		if mRes.Matches != 3 {
+			t.Fatalf("w%d: limited match counted %d, want 3", workers, mRes.Matches)
+		}
+	}
+}
+
+// TestQueryLimitRespectsCallerCancellation: a caller-cancelled context
+// still surfaces its error even when a limit is set.
+func TestQueryLimitRespectsCallerCancellation(t *testing.T) {
+	g, err := Build(FromSpec("clique:n=30"), Options{MemoryWords: 1 << 10, BlockWords: 1 << 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.TrianglesFunc(ctx, Query{Limit: 1000000}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled limited query: %v, want context.Canceled", err)
+	}
+}

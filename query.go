@@ -2,11 +2,13 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"sort"
 
 	"repro/internal/baseline"
+	"repro/internal/ctxutil"
 	"repro/internal/extmem"
 	"repro/internal/graph"
 	"repro/internal/subgraph"
@@ -30,6 +32,17 @@ type Query struct {
 	// FamilySize overrides the small-bias family size used by the
 	// Deterministic algorithm (0 = default).
 	FamilySize int
+	// Limit, when positive, stops the query cleanly after Limit
+	// emissions: the producer is cancelled cooperatively (as if the
+	// context had been cancelled), no further emissions are delivered,
+	// and the partial Result is returned with a nil error — its Matches
+	// (and Triangles) count the emissions actually delivered, which are
+	// a prefix of the full stream, and its Stats report whatever I/O had
+	// accumulated when the producer wound down (like a cancelled run,
+	// this tail is scheduling-dependent for the parallel algorithms).
+	// Queries that finish under the limit are unaffected. Applies to the
+	// callback and iterator forms alike.
+	Limit uint64
 	// Result, when non-nil, receives the query's Result when the run
 	// finishes — the way the iterator forms report statistics. The
 	// callback forms also return it directly.
@@ -47,15 +60,17 @@ type Result struct {
 	// Matches is the number of emitted matches of any query kind:
 	// triangles, k-cliques, or pattern embeddings modulo Aut(H).
 	Matches uint64
-	// Vertices and Edges describe the graph after deduplication.
+	// Vertices and Edges describe the graph after deduplication, as of
+	// the generation the query ran on.
 	Vertices int
 	Edges    int64
 	// Stats covers the enumeration proper (canonicalization excluded).
 	Stats IOStats
-	// CanonIOs is the I/O cost of converting the input to the canonical
-	// degree-ordered representation (O(sort(E)), Section 1.3). A Graph
-	// handle pays it once at Build time; every query of the handle
-	// reports that same one-time cost.
+	// CanonIOs is the one-time cost of producing the canonical image the
+	// query ran on: the O(sort(E)) Build canonicalization (Section 1.3)
+	// plus the delta merges of any Updates installed before the query's
+	// generation. A Graph handle pays these costs once; every query of a
+	// generation reports that generation's value.
 	CanonIOs uint64
 	// Colors, HighDegVertices, Subproblems and X expose algorithm
 	// internals for experiments; see trienum.Info.
@@ -86,6 +101,57 @@ func (g *Graph) resolveWorkers(q Query) int {
 	return g.opts.workers()
 }
 
+// limiter implements Query.Limit: it counts delivered emissions,
+// cancels the producer when the limit is reached, and suppresses the
+// stragglers the producer emits while winding down.
+type limiter struct {
+	limit  uint64
+	count  uint64
+	cancel context.CancelFunc
+}
+
+// newLimiter returns the limit state (nil when the query is unlimited)
+// and the context the producer should run under.
+func newLimiter(ctx context.Context, q Query) (*limiter, context.Context, context.CancelFunc) {
+	if q.Limit == 0 {
+		return nil, ctx, func() {}
+	}
+	qctx, cancel := cancelableCtx(ctx)
+	return &limiter{limit: q.Limit, cancel: cancel}, qctx, cancel
+}
+
+// admit reports whether the next emission may be delivered, counting it
+// and cancelling the producer once the limit is reached.
+func (l *limiter) admit() bool {
+	if l == nil {
+		return true
+	}
+	if l.count >= l.limit {
+		return false
+	}
+	l.count++
+	if l.count == l.limit {
+		l.cancel()
+	}
+	return true
+}
+
+// finish translates the producer's wind-down into the limit contract:
+// the delivered-emission count replaces the producer's internal tally
+// (which may have raced past the limit), and when the limit was reached
+// and the only error is the limiter's own cancellation (not the
+// caller's), the query stopped cleanly and the error is dropped.
+func (l *limiter) finish(ctx context.Context, res *Result, err error) error {
+	if l == nil {
+		return err
+	}
+	res.Matches = l.count
+	if l.count >= l.limit && errors.Is(err, context.Canceled) && ctxutil.Err(ctx) == nil {
+		return nil
+	}
+	return err
+}
+
 // TrianglesFunc enumerates every triangle of the graph with the
 // configured algorithm, calling emit exactly once per triangle from the
 // calling goroutine. Vertices carry the input's ids, sorted a < b < c; a
@@ -98,10 +164,11 @@ func (g *Graph) resolveWorkers(q Query) int {
 // the partial counts and the statistics accumulated so far. ctx may be
 // nil.
 //
-// The query runs on its own session over the handle's immutable core, so
-// it may be issued concurrently with any other queries of the same Graph;
-// emit may itself issue follow-up queries against the handle (but must
-// not Close it — Close waits for the query emit is running under).
+// The query runs on its own session over the generation that is current
+// when it starts, so it may be issued concurrently with any other queries
+// — and with Update — on the same Graph; emit may itself issue follow-up
+// queries against the handle (but must not Close it — Close waits for the
+// query emit is running under).
 func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c uint32)) (Result, error) {
 	s, err := g.acquire()
 	if err != nil {
@@ -109,10 +176,15 @@ func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c ui
 	}
 	defer s.close()
 
-	res := g.baseResult()
+	lim, qctx, stop := newLimiter(ctx, q)
+	defer stop()
+	res := s.baseResult()
 	workers := g.resolveWorkers(q)
-	exec := trienum.Exec{Workers: workers, Ctx: ctx}
+	exec := trienum.Exec{Workers: workers, Ctx: qctx}
 	wrapped := func(a, b, c uint32) {
+		if !lim.admit() {
+			return
+		}
 		if emit != nil {
 			t := graph.MakeTriple(s.cg.RankToID[a], s.cg.RankToID[b], s.cg.RankToID[c])
 			emit(t.V1, t.V2, t.V3)
@@ -126,20 +198,20 @@ func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c ui
 		info, workerStats, err = trienum.CacheAwareParallel(s.sp, s.cg, q.Seed, exec, wrapped)
 		res.Workers = workers
 	case CacheOblivious:
-		info, err = trienum.ObliviousCtx(ctx, s.sp, s.cg, q.Seed, wrapped)
+		info, err = trienum.ObliviousCtx(qctx, s.sp, s.cg, q.Seed, wrapped)
 	case Deterministic:
 		info, workerStats, err = trienum.DeterministicParallel(s.sp, s.cg, q.FamilySize, exec, wrapped)
 		if err == nil {
 			res.Workers = workers
 		}
 	case HuTaoChung:
-		info, err = trienum.HuTaoChungCtx(ctx, s.sp, s.cg, wrapped)
+		info, err = trienum.HuTaoChungCtx(qctx, s.sp, s.cg, wrapped)
 	case BlockNestedLoop:
-		info, err = baseline.BlockNestedLoopCtx(ctx, s.sp, s.cg, wrapped)
+		info, err = baseline.BlockNestedLoopCtx(qctx, s.sp, s.cg, wrapped)
 	case EdgeIterator:
-		info, err = baseline.EdgeIteratorCtx(ctx, s.sp, s.cg, wrapped)
+		info, err = baseline.EdgeIteratorCtx(qctx, s.sp, s.cg, wrapped)
 	case SortMerge:
-		info, err = trienum.DementievCtx(ctx, s.sp, s.cg, wrapped)
+		info, err = trienum.DementievCtx(qctx, s.sp, s.cg, wrapped)
 	default:
 		return res, fmt.Errorf("repro: unknown algorithm %v", q.Algorithm)
 	}
@@ -160,6 +232,16 @@ func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c ui
 	res.HighDegVertices = info.HighDegVertices
 	res.Subproblems = info.Subproblems
 	res.X = info.X
+	err = lim.finish(ctx, &res, err)
+	if lim != nil {
+		res.Triangles = res.Matches
+		if err == nil && q.Algorithm == Deterministic {
+			// A clean limit stop is a success: report the real worker
+			// cap for Deterministic too, whose normal path only sets it
+			// after an error-free run.
+			res.Workers = workers
+		}
+	}
 	deliverResult(q, res)
 	return res, err
 }
@@ -174,7 +256,8 @@ func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c ui
 // A non-nil error is yielded at most once, as the final element.
 // Breaking out of the loop cancels the underlying query and drains its
 // workers before the iterator returns. Set Query.Result to receive the
-// per-query statistics.
+// per-query statistics, and Query.Limit to end the iteration cleanly
+// after a fixed number of elements.
 //
 // The loop body runs on the iterating goroutine while the query's private
 // session is live: it may issue further queries against the same handle
@@ -208,8 +291,8 @@ func (g *Graph) Triangles(ctx context.Context, q Query) iter.Seq2[Triangle, erro
 // be nil. A nil emit counts only. Like every query, it runs on its own
 // session and may overlap other queries of the handle.
 func (g *Graph) CliquesFunc(ctx context.Context, k int, q Query, emit func(clique []uint32)) (Result, error) {
-	return g.subgraphQuery(ctx, q, emit, func(s *session, wrapped subgraph.EmitK) (subgraph.Info, error) {
-		return subgraph.KClique(ctx, s.sp, s.cg, k, q.Seed, wrapped)
+	return g.subgraphQuery(ctx, q, emit, func(qctx context.Context, s *session, wrapped subgraph.EmitK) (subgraph.Info, error) {
+		return subgraph.KClique(qctx, s.sp, s.cg, k, q.Seed, wrapped)
 	}, true)
 }
 
@@ -236,8 +319,8 @@ func (g *Graph) MatchFunc(ctx context.Context, p *Pattern, q Query, emit func(as
 	if p == nil || p.p == nil {
 		return Result{}, fmt.Errorf("repro: Match requires a non-nil pattern")
 	}
-	return g.subgraphQuery(ctx, q, emit, func(s *session, wrapped subgraph.EmitK) (subgraph.Info, error) {
-		return p.p.Enumerate(ctx, s.sp, s.cg, q.Seed, wrapped)
+	return g.subgraphQuery(ctx, q, emit, func(qctx context.Context, s *session, wrapped subgraph.EmitK) (subgraph.Info, error) {
+		return p.p.Enumerate(qctx, s.sp, s.cg, q.Seed, wrapped)
 	}, false)
 }
 
@@ -257,16 +340,21 @@ func (g *Graph) Match(ctx context.Context, p *Pattern, q Query) iter.Seq2[[]uint
 // sortIDs orders each emitted vertex set ascending (cliques are unordered
 // sets; pattern embeddings are positional and must not be reordered).
 func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
-	run func(*session, subgraph.EmitK) (subgraph.Info, error), sortIDs bool) (Result, error) {
+	run func(qctx context.Context, s *session, wrapped subgraph.EmitK) (subgraph.Info, error), sortIDs bool) (Result, error) {
 	s, err := g.acquire()
 	if err != nil {
 		return Result{}, err
 	}
 	defer s.close()
 
-	res := g.baseResult()
+	lim, qctx, stop := newLimiter(ctx, q)
+	defer stop()
+	res := s.baseResult()
 	var mapped []uint32
 	wrapped := func(vs []uint32) {
+		if !lim.admit() {
+			return
+		}
 		if emit == nil {
 			return
 		}
@@ -282,7 +370,7 @@ func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
 		}
 		emit(mapped)
 	}
-	info, err := run(s, wrapped)
+	info, err := run(qctx, s, wrapped)
 	res.Matches = info.Cliques
 	res.Colors = info.Colors
 	res.Subproblems = info.Subproblems
@@ -293,6 +381,7 @@ func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
 		s.sp.Flush()
 	}
 	res.Stats = toIOStats(s.sp.Stats())
+	err = lim.finish(ctx, &res, err)
 	deliverResult(q, res)
 	return res, err
 }
@@ -319,11 +408,13 @@ func (g *Graph) subgraphSeq(ctx context.Context, run func(qctx context.Context, 
 	}
 }
 
-func (g *Graph) baseResult() Result {
+// baseResult seeds a Result with the session's generation metadata, so
+// concurrent updates never leak into a running query's report.
+func (s *session) baseResult() Result {
 	return Result{
-		Vertices: g.numVertices,
-		Edges:    g.edgesLen,
-		CanonIOs: g.canonIOs,
+		Vertices: s.gen.numVertices,
+		Edges:    s.gen.edgesLen,
+		CanonIOs: s.gen.canonIOs,
 		Workers:  1,
 	}
 }

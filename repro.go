@@ -53,6 +53,30 @@
 // They are thin shims over Build + TrianglesFunc and re-pay the
 // canonicalization on every call.
 //
+// # Updates and generations
+//
+// Handles are versioned: Update merges a batched edge delta — adds and
+// removes, in the caller's vertex ids — against the frozen canonical
+// image and atomically installs the result as the next immutable
+// generation:
+//
+//	res, err := g.Update(ctx, repro.Delta{
+//		Add:    [][2]uint32{{7, 9}},
+//		Remove: [][2]uint32{{0, 1}},
+//	})
+//
+// The delta is sorted with the parallel external-memory sorts and merged
+// in O(sort(E_delta) + scan(E) + scan(V)) I/Os plus two sort(E)
+// relabeling passes — degrees, ranks, and the canonical edge array are
+// re-derived incrementally, well below the cost of rebuilding
+// (UpdateResult.MergeIOs reports the deterministic, worker-invariant
+// price; BenchmarkE18UpdateDelta compares the two). The installed image
+// is byte-identical to what a fresh Build of the updated edge set would
+// freeze, so queries after an Update behave exactly as on a rebuilt
+// handle. Queries pin the generation current when they start: in-flight
+// queries are untouched by concurrent updates (snapshot isolation), and
+// a superseded generation's core is released when its last query drains.
+//
 // # Parallel execution
 //
 // The cache-aware algorithms decompose into independent subproblems — the

@@ -10,12 +10,16 @@ import (
 
 // ReadTextEdges parses a whitespace-separated edge list, the de-facto
 // exchange format of graph repositories (SNAP, DIMACS-like): one "u v"
-// pair per line, with '#' or '%' comment lines ignored. Self-loops are
-// dropped; duplicate edges are kept (Enumerate deduplicates).
+// pair per line, with '#' or '%' comment lines ignored and any fields
+// after the first two (weights, timestamps) skipped. Self-loops are
+// dropped; duplicate edges are kept (Build deduplicates). Lines longer
+// than 1 MiB are rejected as malformed rather than buffered without
+// bound; the scan buffer itself grows with the input, so small inputs
+// never allocate the cap (FuzzReadTextEdges pins both properties).
 func ReadTextEdges(r io.Reader) ([][2]uint32, error) {
 	var edges [][2]uint32
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++

@@ -42,6 +42,49 @@ func TestReadTextEdgesErrors(t *testing.T) {
 	}
 }
 
+// FuzzReadTextEdges mirrors FuzzReadEdgeFile for the text format:
+// arbitrary input must never panic or allocate out of proportion to the
+// input (the parse yields at most one edge per four input bytes — "u v"
+// plus a separator — so a forged input cannot force a large slice), and
+// anything that parses must survive a write-read round trip exactly.
+func FuzzReadTextEdges(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("0 1\n1 2"))
+	f.Add([]byte("# comment\n% comment\n\n3 4 weight-ignored\n5\t6"))
+	f.Add([]byte("7 7\n"))          // self-loop, dropped
+	f.Add([]byte("1"))              // too few fields
+	f.Add([]byte("x y"))            // not numbers
+	f.Add([]byte("4294967296 1"))   // overflows uint32
+	f.Add([]byte("+1 2"))           // sign prefix is not a vertex id
+	f.Add([]byte("1 2\r\n3 4\r\n")) // CRLF
+	f.Add([]byte(strings.Repeat("9", 2<<20)))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		edges, err := ReadTextEdges(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if max := len(in)/4 + 1; len(edges) > max {
+			t.Fatalf("%d edges from %d input bytes (max %d): over-allocation", len(edges), len(in), max)
+		}
+		var buf bytes.Buffer
+		if err := WriteTextEdges(&buf, edges); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadTextEdges(&buf)
+		if err != nil {
+			t.Fatalf("round trip of valid parse failed: %v", err)
+		}
+		if len(back) != len(edges) {
+			t.Fatalf("round trip length %d != %d", len(back), len(edges))
+		}
+		for i := range back {
+			if back[i] != edges[i] {
+				t.Fatalf("round trip edge %d mismatch", i)
+			}
+		}
+	})
+}
+
 func TestTextEdgesRoundTrip(t *testing.T) {
 	edges, _ := Generate("gnm:n=50,m=200", 3)
 	var buf bytes.Buffer

@@ -1,0 +1,243 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/emsort"
+	"repro/internal/extmem"
+	"repro/internal/graph"
+)
+
+// Edge is one undirected edge in the caller's vertex-id space, as
+// everywhere else in the API: {u, v} and {v, u} are the same edge, and
+// self-loops are ignored.
+type Edge = [2]uint32
+
+// Delta is a batched mutation of a Graph's edge set. The updated set is
+// (E \ Remove) ∪ Add: removing an absent edge and adding a present one
+// are no-ops (only effective changes are counted), duplicates within
+// either list are collapsed, and an edge named in both lists ends up
+// present. Vertices appear and disappear with their edges — ids never
+// seen before are valid in Add, and a vertex whose last edge is removed
+// leaves the graph.
+type Delta struct {
+	Add    []Edge
+	Remove []Edge
+}
+
+// UpdateResult reports an installed (or no-op) Update.
+type UpdateResult struct {
+	// Generation is the generation serving queries after the call: the
+	// newly installed one, or the unchanged current one when the delta
+	// had no effect.
+	Generation uint64
+	// Added and Removed count the effective edge changes.
+	Added, Removed int64
+	// Vertices and Edges describe the updated graph.
+	Vertices int
+	Edges    int64
+	// MergeIOs is the block-I/O cost of the delta merge: sorting the
+	// delta, merging it against the frozen image, re-deriving the
+	// canonical artifacts, and writing the new generation's image. It is
+	// deterministic for a given graph and delta, and invariant in
+	// Options.Workers — and, for small deltas, strictly below the
+	// O(sort(E)) cost of rebuilding via Build (see BenchmarkE18UpdateDelta).
+	MergeIOs uint64
+}
+
+// Update merges the delta against the current generation's frozen
+// canonical image and atomically installs the result as a new immutable
+// generation. The delta is sorted with the parallel external-memory
+// sorts at Options.Workers and merged in O(sort(E_delta) + scan(E) +
+// scan(V)) I/Os plus two sort(E) relabeling passes — re-deriving degrees,
+// ranks, and the canonical edge array incrementally rather than
+// re-canonicalizing — and the installed image is byte-identical to the
+// one a fresh Build of the updated edge set would freeze: every query on
+// the new generation emits, counts, and reports I/O statistics exactly as
+// it would against that fresh handle, at every worker count. (The one
+// exception is Result.CanonIOs, which reports the cost actually paid —
+// Build plus merges — rather than the hypothetical rebuild's.)
+//
+// Queries and updates interleave freely: in-flight queries keep reading
+// the generation they started on and new queries pin the latest one, so
+// a query never observes a half-installed update (snapshot isolation).
+// Updates themselves are serialized with each other. Disk-backed handles
+// write each update generation to <DiskPath>.g<n> and remove it when its
+// last reader drains (the Build image at DiskPath is left untouched, so
+// it no longer reflects the handle after an effective Update); merge
+// scratch spills to a temporary <DiskPath>.u<n> file, removed when the
+// call returns.
+//
+// Cancellation through ctx is cooperative: the merge stops between
+// phases and sort runs, the handle keeps serving its current generation,
+// and ctx.Err() is returned. ctx may be nil. A delta with no effective
+// changes installs nothing and reports the current generation (with the
+// MergeIOs spent discovering that).
+func (g *Graph) Update(ctx context.Context, d Delta) (UpdateResult, error) {
+	g.updateMu.Lock()
+	defer g.updateMu.Unlock()
+
+	// Register with the close-guard (Close waits for updates like it
+	// waits for queries) and pin the generation being merged against.
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return UpdateResult{}, ErrGraphClosed
+	}
+	old := g.cur
+	old.refs++
+	g.active++
+	g.seq++
+	seq := g.seq
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		rel := g.unpinLocked(old)
+		g.mu.Unlock()
+		g.releaseDetached(rel)
+		g.mu.Lock()
+		g.releaseRefLocked()
+		g.mu.Unlock()
+	}()
+
+	cfg := extmem.Config{M: g.opts.MemoryWords, B: g.opts.BlockWords}
+	scratch := ""
+	if g.opts.DiskPath != "" {
+		scratch = fmt.Sprintf("%s.u%d", g.opts.DiskPath, seq)
+	}
+	sp, err := extmem.NewSessionSpace(cfg, old.core, old.coreWords, scratch)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	defer sp.Close()
+
+	workers := g.opts.workers()
+	var mergeWS []extmem.Stats
+	sorter := func(ext extmem.Extent) error {
+		ws, err := emsort.ParallelSortRecordsCtx(ctx, ext, 1, emsort.Identity, workers)
+		mergeWS = extmem.AddStatsVec(mergeWS, ws)
+		return err
+	}
+	view := graph.GenView{
+		IDEdges:  sp.ExtentAt(old.layout.Dedup, old.edgesLen),
+		Ends:     sp.ExtentAt(old.layout.Ends, 2*old.edgesLen),
+		ByDeg:    sp.ExtentAt(old.layout.ByDeg, int64(old.numVertices)),
+		RankByID: sp.ExtentAt(old.layout.RankByID, int64(old.numVertices)),
+	}
+	m, err := graph.MergeDelta(ctx, sp, view, packDelta(d.Add), packDelta(d.Remove), sorter)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+
+	if m.Added == 0 && m.Removed == 0 {
+		mergeStats := sp.Stats()
+		for _, w := range mergeWS {
+			mergeStats.Add(w)
+		}
+		return UpdateResult{
+			Generation: old.gen,
+			Vertices:   old.numVertices,
+			Edges:      old.edgesLen,
+			MergeIOs:   mergeStats.IOs(),
+		}, nil
+	}
+
+	// Lay the merged artifacts down as a fresh-Build image — same
+	// addresses, same watermark, scratch regions left empty — and freeze
+	// it into the next generation's core.
+	eNew := m.Edges.Len()
+	nvNew := int64(m.NumVertices)
+	lay := graph.LayoutFor(eNew, eNew, nvNew, g.opts.BlockWords)
+	genPath := ""
+	var img *extmem.Space
+	if g.opts.DiskPath != "" {
+		genPath = fmt.Sprintf("%s.g%d", g.opts.DiskPath, old.gen+1)
+		img, err = extmem.NewFileSpace(cfg, genPath)
+		if err != nil {
+			return UpdateResult{}, err
+		}
+	} else {
+		img = extmem.NewSpace(cfg)
+	}
+	img.Alloc(lay.Mark)
+	m.IDEdges.CopyTo(img.ExtentAt(lay.Dedup, m.IDEdges.Len()))
+	m.Ends.CopyTo(img.ExtentAt(lay.Ends, m.Ends.Len()))
+	m.ByDeg.CopyTo(img.ExtentAt(lay.ByDeg, m.ByDeg.Len()))
+	m.RankByID.CopyTo(img.ExtentAt(lay.RankByID, m.RankByID.Len()))
+	m.Degrees.CopyTo(img.ExtentAt(lay.DegOut, m.Degrees.Len()))
+	m.Edges.CopyTo(img.ExtentAt(lay.EdgeOut, m.Edges.Len()))
+	img.Flush()
+
+	// MergeIOs covers everything the update paid: the session's sorts,
+	// merge scans, and copy-out reads, the sort workers' I/Os, and the
+	// image writes — captured only now, after the copy-out charged its
+	// reads to the session.
+	mergeStats := sp.Stats()
+	for _, w := range mergeWS {
+		mergeStats.Add(w)
+	}
+	mergeStats.Add(img.Stats())
+	mergeIOs := mergeStats.IOs()
+
+	ng := &generation{
+		gen:         old.gen + 1,
+		path:        genPath,
+		coreWords:   (lay.Mark + int64(g.opts.BlockWords) - 1) &^ int64(g.opts.BlockWords-1),
+		layout:      lay,
+		numVertices: m.NumVertices,
+		edgesBase:   lay.EdgeOut,
+		edgesLen:    eNew,
+		degBase:     lay.DegOut,
+		degLen:      nvNew,
+		rankToID:    m.RankToID,
+		canonIOs:    old.canonIOs + mergeIOs,
+		refs:        1, // the handle's current pointer
+	}
+	if genPath != "" {
+		if err := img.Close(); err != nil {
+			os.Remove(genPath)
+			return UpdateResult{}, err
+		}
+		fc, err := extmem.NewFileCore(genPath)
+		if err != nil {
+			os.Remove(genPath)
+			return UpdateResult{}, err
+		}
+		ng.core, ng.coreFile = fc, fc
+	} else {
+		ng.core = extmem.WordsCore(img.Snapshot(img.ExtentAt(0, lay.Mark)))
+		img.Close()
+	}
+
+	// Atomic install: new queries pin the new generation; the old one is
+	// released when its last in-flight reader drains.
+	g.mu.Lock()
+	g.cur = ng
+	rel := g.unpinLocked(old) // the current pointer's reference moves to ng
+	g.mu.Unlock()
+	g.releaseDetached(rel)
+
+	return UpdateResult{
+		Generation: ng.gen,
+		Added:      m.Added,
+		Removed:    m.Removed,
+		Vertices:   m.NumVertices,
+		Edges:      eNew,
+		MergeIOs:   mergeIOs,
+	}, nil
+}
+
+// packDelta normalizes an edge list into packed words, dropping
+// self-loops; sorting and deduplication happen in the merge.
+func packDelta(es []Edge) []extmem.Word {
+	out := make([]extmem.Word, 0, len(es))
+	for _, e := range es {
+		if e[0] == e[1] {
+			continue
+		}
+		out = append(out, graph.Pack(e[0], e[1]))
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// edgeSet is the native model the update tests check the handle against.
+type edgeSet map[[2]uint32]struct{}
+
+func newEdgeSet(edges [][2]uint32) edgeSet {
+	s := edgeSet{}
+	for _, e := range edges {
+		s.add(e)
+	}
+	return s
+}
+
+func norm(e [2]uint32) [2]uint32 {
+	if e[0] > e[1] {
+		e[0], e[1] = e[1], e[0]
+	}
+	return e
+}
+
+func (s edgeSet) add(e [2]uint32) {
+	if e[0] == e[1] {
+		return
+	}
+	s[norm(e)] = struct{}{}
+}
+
+func (s edgeSet) remove(e [2]uint32) { delete(s, norm(e)) }
+
+func (s edgeSet) apply(d Delta) {
+	for _, e := range d.Remove {
+		s.remove(e)
+	}
+	for _, e := range d.Add {
+		s.add(e)
+	}
+}
+
+// slice returns the set as a deterministically ordered edge list.
+func (s edgeSet) slice() [][2]uint32 {
+	out := make([][2]uint32, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i][0] < out[j][0] || (out[i][0] == out[j][0] && out[i][1] < out[j][1])
+	})
+	return out
+}
+
+// assertQueriesMatchFresh runs the full query suite against the updated
+// handle and against a fresh Build of the same edge set, and requires
+// byte-identity: transcripts, Results, and summed worker stats — with
+// CanonIOs normalized, the one documented divergence (the updated handle
+// reports the build+merge cost actually paid, not the rebuild's).
+func assertQueriesMatchFresh(t *testing.T, label string, g *Graph, model edgeSet, opts Options) {
+	t.Helper()
+	opts.DiskPath = "" // the reference rebuild never needs a second file
+	fresh, err := Build(FromEdges(model.slice()), opts)
+	if err != nil {
+		t.Fatalf("%s: fresh build: %v", label, err)
+	}
+	defer fresh.Close()
+
+	if g.NumVertices() != fresh.NumVertices() || g.NumEdges() != fresh.NumEdges() {
+		t.Fatalf("%s: updated handle V=%d E=%d, fresh build V=%d E=%d",
+			label, g.NumVertices(), g.NumEdges(), fresh.NumVertices(), fresh.NumEdges())
+	}
+	for _, spec := range concurrencySuite() {
+		gotTr, gotRes, err := spec.run(g)
+		if err != nil {
+			t.Fatalf("%s: %s on updated handle: %v", label, spec.name, err)
+		}
+		wantTr, wantRes, err := spec.run(fresh)
+		if err != nil {
+			t.Fatalf("%s: %s on fresh build: %v", label, spec.name, err)
+		}
+		if gotTr != wantTr {
+			t.Fatalf("%s: %s: emission transcript differs from fresh build", label, spec.name)
+		}
+		ngot, gotSum := normalizeResult(gotRes)
+		nwant, wantSum := normalizeResult(wantRes)
+		ngot.CanonIOs, nwant.CanonIOs = 0, 0
+		if !reflect.DeepEqual(ngot, nwant) {
+			t.Fatalf("%s: %s: Result differs:\nupdated: %+v\nfresh:   %+v", label, spec.name, ngot, nwant)
+		}
+		if gotSum != wantSum {
+			t.Fatalf("%s: %s: summed WorkerStats differ: %+v want %+v", label, spec.name, gotSum, wantSum)
+		}
+	}
+}
+
+// updateScenario is a sequence of deltas exercising every mutation shape:
+// pure adds (including brand-new vertex ids), pure removes (including a
+// vertex's last edge), and a mix with no-op entries and add/remove
+// overlap.
+func updateScenario(edges [][2]uint32) []Delta {
+	return []Delta{
+		{Add: [][2]uint32{{500, 501}, {501, 502}, {500, 502}, {0, 500}, {1, 1}}},
+		{Remove: [][2]uint32{edges[0], edges[1], edges[1], {777, 778}}},
+		{
+			Add:    [][2]uint32{{500, 503}, edges[2], {600, 601}},
+			Remove: [][2]uint32{{500, 501}, {600, 601}, edges[3]},
+		},
+	}
+}
+
+// TestUpdateEquivalentToRebuild is the tentpole contract: after every
+// update of an add/remove/mixed sequence, every query of the suite — all
+// algorithms, Workers 1 and 4, memory- and disk-backed — is byte-
+// identical to the same query on a fresh Build of the updated edge set,
+// and MergeIOs is deterministic: identical across Options.Workers values
+// and across backends.
+func TestUpdateEquivalentToRebuild(t *testing.T) {
+	edges, err := Generate("gnm:n=150,m=900", 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := updateScenario(edges)
+
+	mergeIOs := make(map[string][]uint64)
+	variant := func(label string, opts Options) {
+		g, err := Build(FromEdges(edges), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		defer g.Close()
+		model := newEdgeSet(edges)
+		for i, d := range deltas {
+			res, err := g.Update(nil, d)
+			if err != nil {
+				t.Fatalf("%s: update %d: %v", label, i, err)
+			}
+			model.apply(d)
+			if res.Generation != uint64(i+1) || g.Generation() != uint64(i+1) {
+				t.Fatalf("%s: update %d installed generation %d (handle says %d)", label, i, res.Generation, g.Generation())
+			}
+			if res.Edges != int64(len(model)) || res.Vertices != g.NumVertices() {
+				t.Fatalf("%s: update %d reports E=%d V=%d, model has E=%d", label, i, res.Edges, res.Vertices, len(model))
+			}
+			mergeIOs[label] = append(mergeIOs[label], res.MergeIOs)
+			assertQueriesMatchFresh(t, label, g, model, opts)
+		}
+	}
+
+	base := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5}
+	w1 := base
+	w1.Workers = 1
+	variant("workers=1", w1)
+	w4 := base
+	w4.Workers = 4
+	variant("workers=4", w4)
+	disk := w1
+	disk.DiskPath = filepath.Join(t.TempDir(), "em.bin")
+	variant("disk", disk)
+
+	for label, ios := range mergeIOs {
+		if !reflect.DeepEqual(ios, mergeIOs["workers=1"]) {
+			t.Errorf("MergeIOs not invariant: %s=%v, workers=1=%v", label, ios, mergeIOs["workers=1"])
+		}
+	}
+	for i, io := range mergeIOs["workers=1"] {
+		if io == 0 {
+			t.Errorf("update %d reported zero MergeIOs", i)
+		}
+	}
+}
+
+// TestUpdateNoop: deltas with no effective change (empty, remove-absent,
+// add-present) install nothing — the generation number, CanonIOs, and
+// query results are untouched.
+func TestUpdateNoop(t *testing.T) {
+	edges, err := Generate("planted:n=80,m=400,k=8", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(FromEdges(edges), Options{MemoryWords: 1 << 10, BlockWords: 1 << 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	before, err := g.TrianglesFunc(nil, Query{Seed: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, d := range []Delta{
+		{},
+		{Remove: [][2]uint32{{4000, 4001}}},
+		{Add: [][2]uint32{edges[0], {5, 5}}},
+	} {
+		res, err := g.Update(nil, d)
+		if err != nil {
+			t.Fatalf("noop update %d: %v", i, err)
+		}
+		if res.Generation != 0 || res.Added != 0 || res.Removed != 0 {
+			t.Fatalf("noop update %d installed: %+v", i, res)
+		}
+	}
+	if g.Generation() != 0 {
+		t.Fatalf("generation moved to %d after no-op updates", g.Generation())
+	}
+	after, err := g.TrianglesFunc(nil, Query{Seed: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, _ := normalizeResult(after)
+	nb, _ := normalizeResult(before)
+	if !reflect.DeepEqual(na, nb) {
+		t.Fatalf("query drifted across no-op updates:\nbefore: %+v\nafter:  %+v", nb, na)
+	}
+}
+
+// TestUpdateToEmptyAndBack: removing every edge leaves a servable empty
+// generation, and a later add repopulates it — both byte-identical to
+// fresh builds of the same sets.
+func TestUpdateToEmptyAndBack(t *testing.T) {
+	edges := [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {2, 3}}
+	opts := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5}
+	g, err := Build(FromEdges(edges), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	model := newEdgeSet(edges)
+
+	wipe := Delta{Remove: edges}
+	if _, err := g.Update(nil, wipe); err != nil {
+		t.Fatal(err)
+	}
+	model.apply(wipe)
+	if g.NumEdges() != 0 || g.NumVertices() != 0 {
+		t.Fatalf("post-wipe handle: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	res, err := g.TrianglesFunc(nil, Query{}, nil)
+	if err != nil {
+		t.Fatalf("query on empty generation: %v", err)
+	}
+	if res.Triangles != 0 {
+		t.Fatalf("empty generation found %d triangles", res.Triangles)
+	}
+
+	refill := Delta{Add: [][2]uint32{{7, 8}, {8, 9}, {7, 9}}}
+	if _, err := g.Update(nil, refill); err != nil {
+		t.Fatal(err)
+	}
+	model.apply(refill)
+	assertQueriesMatchFresh(t, "refill", g, model, opts)
+}
+
+// TestUpdateCancelledAndClosed: a cancelled Update leaves the current
+// generation serving (and, for disk graphs, no stray files); Update on a
+// closed handle fails with ErrGraphClosed.
+func TestUpdateCancelledAndClosed(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5, DiskPath: filepath.Join(dir, "em.bin")}
+	edges, err := Generate("gnm:n=100,m=600", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(FromEdges(edges), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := g.TrianglesFunc(nil, Query{Seed: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Update(ctx, Delta{Add: [][2]uint32{{1000, 1001}}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled update: %v, want context.Canceled", err)
+	}
+	if g.Generation() != 0 {
+		t.Fatalf("cancelled update moved the generation to %d", g.Generation())
+	}
+	after, err := g.TrianglesFunc(nil, Query{Seed: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, _ := normalizeResult(after)
+	nb, _ := normalizeResult(before)
+	if !reflect.DeepEqual(na, nb) {
+		t.Fatal("query drifted across a cancelled update")
+	}
+	for _, pat := range []string{".u*", ".g*"} {
+		if left, _ := filepath.Glob(opts.DiskPath + pat); len(left) > 0 {
+			t.Errorf("cancelled update left files: %v", left)
+		}
+	}
+
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Update(nil, Delta{Add: [][2]uint32{{1, 2}}}); !errors.Is(err, ErrGraphClosed) {
+		t.Fatalf("update after Close: %v, want ErrGraphClosed", err)
+	}
+}
