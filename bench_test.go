@@ -7,6 +7,8 @@ package repro
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"slices"
 	"sync"
@@ -506,6 +508,111 @@ func BenchmarkE18UpdateDelta(b *testing.B) {
 	b.ReportMetric(float64(rebuildIOs), "rebuildIOs")
 	if mergeIOs >= rebuildIOs {
 		b.Fatalf("delta merge cost %d IOs >= full rebuild %d IOs", mergeIOs, rebuildIOs)
+	}
+}
+
+// BenchmarkE19Reopen — durable images: adopting an existing canonical
+// image (Open) vs. paying the full O(sort(E)) canonicalization again
+// (Build). The adopted generation reports CanonIOs = 0; the only I/O
+// Open spends is the O(scan(V)) rank-table adoption, reported as
+// reopenIOs, and — when a write-ahead log survived a crash — the
+// deterministic replay merges, reported as replayIOs for a one-record
+// log. The benchmark fails outright if adoption is not strictly cheaper
+// than the rebuild, which is the point of the durable format: reopening
+// costs a vertex-table scan, not a canonicalization.
+func BenchmarkE19Reopen(b *testing.B) {
+	edges, err := Generate("gnm:n=4000,m=32000", 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{MemoryWords: 1 << 12, BlockWords: 1 << 6, Workers: 1}
+	var d Delta
+	for i := 0; i < 160; i++ {
+		d.Remove = append(d.Remove, edges[(i*97)%len(edges)])
+		d.Add = append(d.Add, [2]uint32{uint32(i * 3 % 4000), uint32(50000 + i)})
+	}
+
+	dir := b.TempDir()
+	path := filepath.Join(dir, "e19.img")
+	opts.DiskPath = path
+	g, err := Build(FromEdges(edges), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rebuildIOs := g.CanonIOs()
+	if err := g.Close(); err != nil {
+		b.Fatal(err)
+	}
+	// A crashed sibling: same graph, plus a one-record log to replay.
+	crashPath := filepath.Join(dir, "e19crash.img")
+	cg, err := Build(FromEdges(edges), Options{MemoryWords: opts.MemoryWords, BlockWords: opts.BlockWords, Workers: 1, DiskPath: crashPath})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cg.Update(nil, d); err != nil {
+		b.Fatal(err)
+	}
+	crashImg, err := os.ReadFile(crashPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	crashWal, err := os.ReadFile(crashPath + ".wal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cg.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(crashPath, crashImg, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(crashPath+".wal", crashWal, 0o644); err != nil {
+		b.Fatal(err)
+	}
+
+	var reopenIOs, replayIOs uint64
+	for i := 0; i < b.N; i++ {
+		ro, or, err := Open(path, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reopenIOs = or.AdoptIOs
+		if ro.CanonIOs() != 0 {
+			b.Fatalf("adopted image reports CanonIOs=%d", ro.CanonIOs())
+		}
+		if err := ro.Close(); err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		// Restore the crash state the replay consumes (Close promotes it).
+		if err := os.WriteFile(crashPath, crashImg, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(crashPath+".wal", crashWal, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rc, ror, err := Open(crashPath, Options{MemoryWords: opts.MemoryWords, BlockWords: opts.BlockWords, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ror.Replayed != 1 {
+			b.Fatalf("crash copy replayed %d records, want 1", ror.Replayed)
+		}
+		replayIOs = ror.AdoptIOs + ror.ReplayIOs
+		if err := rc.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(reopenIOs), "reopenIOs")
+	b.ReportMetric(float64(replayIOs), "replayIOs")
+	b.ReportMetric(float64(rebuildIOs), "rebuildIOs")
+	if reopenIOs >= rebuildIOs {
+		b.Fatalf("reopen cost %d IOs >= full rebuild %d IOs", reopenIOs, rebuildIOs)
+	}
+	if replayIOs >= rebuildIOs {
+		b.Fatalf("crash recovery cost %d IOs >= full rebuild %d IOs", replayIOs, rebuildIOs)
 	}
 }
 

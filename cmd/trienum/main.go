@@ -11,11 +11,21 @@
 //	trienum -gen planted:n=5000,m=20000,k=12 -k 4
 //	trienum -gen gnm:n=2000,m=16000 -pattern diamond -timeout 5s
 //	trienum -gen gnm:n=2000,m=16000 -update "+1-2,+2-3,+1-3,-0-5"
+//	trienum -gen gnm:n=2000,m=16000 -disk graph.img   # build a durable image
+//	trienum -open graph.img -algo all                  # adopt it later
 //
 // The graph is built once (one O(sort(E)) canonicalization, repro.Build)
 // and every requested query runs against the same handle, so `-algo all`
 // and mixed triangle/clique/pattern invocations pay the build exactly
 // once — the canonIOs column repeats the one-time cost.
+//
+// -open adopts an existing canonical image (one written by a previous
+// -disk run, promoted on exit) via repro.Open instead of building: no
+// canonicalization at all — the open line reports the adoption scan and
+// any write-ahead-log records replayed after a crash — and the queries
+// run immediately. -open is mutually exclusive with -gen/-in/-disk, and
+// -b must match the image's block size (its default is adopted from the
+// image).
 //
 // -update applies a batched edge delta to the handle before the queries
 // run: a comma-separated list of "+u-v" (add) and "-u-v" (remove) ops,
@@ -67,13 +77,9 @@ func main() {
 		pattern = flag.String("pattern", "", "also enumerate a predefined pattern: triangle, path3, cycle4, diamond, k4, star3, house")
 		timeout = flag.Duration("timeout", time.Duration(0), "cancel queries cooperatively after this duration (0 = none)")
 		update  = flag.String("update", "", `apply an edge delta before querying: comma-separated "+u-v" adds and "-u-v" removes`)
+		open    = flag.String("open", "", "adopt an existing canonical image instead of building (see repro.Open)")
 	)
 	flag.Parse()
-
-	src, err := edgeSource(*gen, *in)
-	if err != nil {
-		fatal(err)
-	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -82,16 +88,46 @@ func main() {
 		defer cancel()
 	}
 
-	// One build, many queries: the canonicalization runs exactly once.
-	g, err := repro.Build(src, repro.Options{
-		MemoryWords: *m,
-		BlockWords:  *b,
-		Workers:     *workers,
-		Seed:        *seed,
-		DiskPath:    *disk,
-	})
-	if err != nil {
-		fatal(err)
+	var g *repro.Graph
+	if *open != "" {
+		// Adopt a durable image: no canonicalization, replay the WAL if a
+		// crash left one behind.
+		if *gen != "" || *in != "" || *disk != "" {
+			fatal(fmt.Errorf("trienum: -open is mutually exclusive with -gen/-in/-disk"))
+		}
+		blockWords := *b
+		if !flagSet("b") {
+			blockWords = 0 // adopt the image's block size
+		}
+		var ores repro.OpenResult
+		var err error
+		g, ores, err = repro.Open(*open, repro.Options{
+			MemoryWords: *m,
+			BlockWords:  blockWords,
+			Workers:     *workers,
+			Seed:        *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s generation=%d V=%d E=%d adoptIOs=%d replayed=%d replayIOs=%d cleaned=%d\n",
+			"open", ores.Generation, ores.Vertices, ores.Edges, ores.AdoptIOs, ores.Replayed, ores.ReplayIOs, ores.Cleaned)
+	} else {
+		src, err := edgeSource(*gen, *in)
+		if err != nil {
+			fatal(err)
+		}
+		// One build, many queries: the canonicalization runs exactly once.
+		g, err = repro.Build(src, repro.Options{
+			MemoryWords: *m,
+			BlockWords:  *b,
+			Workers:     *workers,
+			Seed:        *seed,
+			DiskPath:    *disk,
+		})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	defer g.Close()
 
@@ -230,6 +266,18 @@ func edgeSource(gen, in string) (repro.Source, error) {
 	default:
 		return nil, fmt.Errorf("trienum: need -gen or -in (try -gen clique:n=50)")
 	}
+}
+
+// flagSet reports whether the named flag was given on the command line
+// (as opposed to holding its default).
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatal(err error) {

@@ -220,8 +220,10 @@ func TestConcurrentQueriesAcrossUpdates(t *testing.T) {
 // TestGenerationFilesLifecycle pins the disk contract: each update
 // generation lives in <DiskPath>.g<n> while referenced, a superseded
 // generation's file is removed the moment its last reader drains, Close
-// removes the final generation's file, and the Build image at DiskPath
-// survives everything.
+// removes the final generation's file (after promoting it over the
+// image — the implicit checkpoint), and the image at DiskPath survives
+// everything, now holding the latest generation rather than the
+// original Build.
 func TestGenerationFilesLifecycle(t *testing.T) {
 	dir := t.TempDir()
 	opts := Options{MemoryWords: 1 << 10, BlockWords: 1 << 5, DiskPath: filepath.Join(dir, "em.bin")}
@@ -288,7 +290,7 @@ func TestGenerationFilesLifecycle(t *testing.T) {
 		t.Fatal("current generation file not removed by Close")
 	}
 	if !exists(opts.DiskPath) {
-		t.Fatal("Build image at DiskPath removed — it must outlive the handle")
+		t.Fatal("image at DiskPath removed — it must outlive the handle")
 	}
 	if leftovers, _ := filepath.Glob(opts.DiskPath + ".*"); len(leftovers) > 0 {
 		t.Fatalf("stray files after Close: %v", leftovers)

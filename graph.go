@@ -99,9 +99,18 @@ type Graph struct {
 	// generation's core (which happens on a query drain, with nobody to
 	// report to); Close surfaces it.
 	releaseErr error
+	// persistedGen is the generation durably stored in the image at
+	// DiskPath: 0 after Build, the footer's generation after Open,
+	// advanced by Checkpoint and the Close promotion. Guarded by mu.
+	persistedGen uint64
 
-	// updateMu serializes Update calls; queries never take it.
+	// updateMu serializes Update calls; queries never take it. The
+	// write-ahead log below is touched only under it (and by Close, after
+	// the drain has excluded every update).
 	updateMu sync.Mutex
+	// wal is the open write-ahead-log file of a disk-backed handle,
+	// opened lazily by the first logged update.
+	wal *os.File
 }
 
 // generation is one immutable version of the graph: the frozen
@@ -118,6 +127,7 @@ type generation struct {
 	path      string // file to remove on release ("" for gen 0 and memory graphs)
 	coreWords int64  // block-rounded watermark: session scratch starts here
 	layout    graph.CanonLayout
+	rawLen    int64 // the m of LayoutFor — what a footer for this image records
 
 	numVertices int
 	edgesBase   int64
@@ -150,6 +160,13 @@ func Build(src Source, opts Options) (*Graph, error) {
 	emCfg := extmem.Config{M: opts.MemoryWords, B: opts.BlockWords}
 	var sp *extmem.Space
 	if opts.DiskPath != "" {
+		// A Build starts a fresh durable life at DiskPath: drop any
+		// write-ahead log, generation image, scratch, or checkpoint temp a
+		// previous life left behind, so stale records can never replay onto
+		// the new image.
+		if _, err := removeStaleSiblings(opts.DiskPath, true); err != nil {
+			return nil, err
+		}
 		sp, err = extmem.NewFileSpace(emCfg, opts.DiskPath)
 		if err != nil {
 			return nil, err
@@ -185,6 +202,7 @@ func Build(src Source, opts Options) (*Graph, error) {
 
 	gen := &generation{
 		canonIOs:    canonStats.IOs(),
+		rawLen:      rawLen,
 		numVertices: cg.NumVertices,
 		edgesBase:   cg.Edges.Base(),
 		edgesLen:    cg.Edges.Len(),
@@ -210,7 +228,26 @@ func Build(src Source, opts Options) (*Graph, error) {
 	gen.coreWords = (mark + int64(opts.BlockWords) - 1) &^ int64(opts.BlockWords-1)
 	if opts.DiskPath != "" {
 		sp.Flush()
+		if err := sp.Sync(); err != nil {
+			sp.Close()
+			return nil, err
+		}
 		if err := sp.Close(); err != nil {
+			return nil, err
+		}
+		// Stamp the durable footer just past the image words — sessions
+		// never read at or beyond coreWords, so the image bytes stay
+		// identical to the model's view — making the file a self-describing
+		// artifact that Open can validate and adopt (see FORMAT.md).
+		meta := graph.ImageMeta{
+			BlockWords:  opts.BlockWords,
+			RawLen:      rawLen,
+			EdgesLen:    gen.edgesLen,
+			NumVertices: int64(gen.numVertices),
+			Generation:  0,
+			CanonIOs:    gen.canonIOs,
+		}
+		if err := writeImageFooter(opts.DiskPath, gen.coreWords, meta); err != nil {
 			return nil, err
 		}
 		fc, err := extmem.NewFileCore(opts.DiskPath)
@@ -369,13 +406,18 @@ func (gen *generation) release() error {
 // and releases every generation: superseded cores were already dropped
 // when their last reader drained, and the current one is released here
 // (closing the canonical-image file of disk-backed graphs and removing
-// any <DiskPath>.g<n> update image; the Build image at DiskPath is kept).
-// Closing an already-closed Graph is a no-op. Close also surfaces the
-// first failure, if any, from releasing a superseded generation earlier
-// in the handle's life (those releases run when a query drains, where no
-// caller can receive the error). Close must not be called from inside an
-// emit callback or iterator body of this handle: it would wait for the
-// very query it is running under.
+// any <DiskPath>.g<n> update image). Disk-backed handles first checkpoint
+// implicitly: the current generation is atomically promoted over the
+// image at DiskPath and the now-obsolete write-ahead log is removed, so a
+// cleanly closed image stands alone — the next Open adopts the latest
+// generation with nothing to replay. If the promotion fails, the log is
+// kept: the old image plus the log still replays to the current
+// generation. Closing an already-closed Graph is a no-op. Close also
+// surfaces the first failure, if any, from releasing a superseded
+// generation earlier in the handle's life (those releases run when a
+// query drains, where no caller can receive the error). Close must not be
+// called from inside an emit callback or iterator body of this handle: it
+// would wait for the very query it is running under.
 //
 // The handle's canonical metadata outlives Close: NumVertices, NumEdges,
 // CanonIOs, Generation, and Options keep answering with the values of the
@@ -389,8 +431,23 @@ func (g *Graph) Close() error {
 	}
 	var err error
 	if first {
+		var promoteErr, walErr error
+		if g.opts.DiskPath != "" {
+			walObsolete := true
+			if g.cur.gen > g.persistedGen {
+				if promoteErr = g.promote(g.cur); promoteErr == nil {
+					g.persistedGen = g.cur.gen
+				} else {
+					// Keep the log: the durable state (persisted image plus
+					// WAL) still replays to the current generation on the
+					// next Open.
+					walObsolete = false
+				}
+			}
+			walErr = g.closeWAL(walObsolete)
+		}
 		g.cur.refs-- // the current pointer's own reference
-		err = errors.Join(g.cur.release(), g.releaseErr)
+		err = errors.Join(promoteErr, walErr, g.cur.release(), g.releaseErr)
 	}
 	g.mu.Unlock()
 	return err

@@ -18,6 +18,10 @@ type Backend interface {
 	WriteBlock(b int64, src []Word) error
 	// Grow ensures the store can hold at least words words.
 	Grow(words int64) error
+	// Sync forces written blocks to stable storage (fsync for file
+	// backends; a no-op in memory). Durable images call it before they
+	// are considered committed.
+	Sync() error
 	// Close releases resources.
 	Close() error
 }
@@ -54,6 +58,8 @@ func (m *memBackend) WriteBlock(b int64, src []Word) error {
 }
 
 func (m *memBackend) Grow(words int64) error { return nil } // lazy
+
+func (m *memBackend) Sync() error { return nil }
 
 func (m *memBackend) Close() error { return nil }
 
@@ -112,6 +118,8 @@ func (fb *fileBackend) WriteBlock(b int64, src []Word) error {
 }
 
 func (fb *fileBackend) Grow(words int64) error { return nil } // sparse file
+
+func (fb *fileBackend) Sync() error { return fb.f.Sync() }
 
 func (fb *fileBackend) Close() error { return fb.f.Close() }
 

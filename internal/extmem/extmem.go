@@ -193,6 +193,11 @@ func (s *Space) Flush() {
 	}
 }
 
+// Sync forces written-back blocks to stable storage (fsync for
+// file-backed spaces; a no-op in memory). It does not flush the cache —
+// call Flush first so every dirty block has reached the backend.
+func (s *Space) Sync() error { return s.backend.Sync() }
+
 // Close releases the backend (closing the file for file-backed spaces).
 func (s *Space) Close() error {
 	if s.closed {

@@ -33,6 +33,7 @@ func (f *flakyBackend) WriteBlock(b int64, src []Word) error {
 }
 
 func (f *flakyBackend) Grow(words int64) error { return f.inner.Grow(words) }
+func (f *flakyBackend) Sync() error            { return f.inner.Sync() }
 func (f *flakyBackend) Close() error           { return f.inner.Close() }
 
 func mustPanicWith(t *testing.T, substr string, fn func()) {

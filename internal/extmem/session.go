@@ -65,6 +65,8 @@ func (sb *sessionBackend) WriteBlock(b int64, src []Word) error {
 
 func (sb *sessionBackend) Grow(words int64) error { return nil }
 
+func (sb *sessionBackend) Sync() error { return sb.priv.Sync() }
+
 func (sb *sessionBackend) Close() error { return sb.priv.Close() }
 
 // NewSessionSpace creates a per-query session Space over an immutable

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// This file defines the durable-image metadata of a canonical on-disk
+// graph: a fixed-size, versioned, checksummed footer appended past the
+// block-rounded allocation watermark of the image file (see FORMAT.md at
+// the repo root). The footer makes the image self-describing — Open can
+// validate a file it did not write, recompute the CanonLayout address
+// map, and adopt the image without re-canonicalizing — while leaving the
+// word-addressable image itself untouched: no session reads at or past
+// the watermark, so the image bytes below it remain exactly what a fresh
+// canonicalization writes.
+
+// ImageMagic identifies a canonical-image footer ("PS14" for Pagh &
+// Silvestri 2014, "IMG" for image, then the format generation byte).
+const ImageMagic = "PS14IMG\x01"
+
+// ImageVersion is the current image-format version. Decoding rejects
+// footers with any other version, so a format change cannot be silently
+// misread as the old layout.
+const ImageVersion = 1
+
+// FooterSize is the byte size of the image footer.
+const FooterSize = 64
+
+// ImageMeta describes a canonical on-disk image: everything needed to
+// recompute its CanonLayout address map and rebind the canonical extents
+// without re-running the canonicalization.
+type ImageMeta struct {
+	// BlockWords is the block size B the image was laid out with; the
+	// layout's block-rounded bases depend on it, so an adopting machine
+	// must use the same value.
+	BlockWords int
+	// RawLen is the raw edge count m the layout was computed for: the
+	// pre-dedup input length at Build time, or the deduplicated count for
+	// images written by a delta merge (whose layout is LayoutFor(e, e, nv)).
+	RawLen int64
+	// EdgesLen is the deduplicated canonical edge count e.
+	EdgesLen int64
+	// NumVertices is the non-isolated vertex count nv.
+	NumVertices int64
+	// Generation is the graph generation frozen in the image: 0 for a
+	// Build image, n for a checkpoint of generation n.
+	Generation uint64
+	// CanonIOs records the block-I/O cost paid to produce the image
+	// (informational: Open adopts the image for free and reports 0).
+	CanonIOs uint64
+}
+
+// EncodeFooter serializes the metadata into the fixed-size footer:
+// magic, version, the layout inputs, and a CRC-32 over everything before
+// it, all little-endian.
+func (m ImageMeta) EncodeFooter() []byte {
+	buf := make([]byte, FooterSize)
+	copy(buf[0:8], ImageMagic)
+	binary.LittleEndian.PutUint32(buf[8:], ImageVersion)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(m.BlockWords))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(m.RawLen))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(m.EdgesLen))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(m.NumVertices))
+	binary.LittleEndian.PutUint64(buf[40:], m.Generation)
+	binary.LittleEndian.PutUint64(buf[48:], m.CanonIOs)
+	// buf[56:60] reserved, zero.
+	binary.LittleEndian.PutUint32(buf[60:], crc32.ChecksumIEEE(buf[:60]))
+	return buf
+}
+
+// DecodeFooter parses and verifies a footer: magic, version, checksum.
+// The returned metadata still needs Validate before the image is trusted.
+func DecodeFooter(buf []byte) (ImageMeta, error) {
+	if len(buf) != FooterSize {
+		return ImageMeta{}, fmt.Errorf("graph: image footer is %d bytes, want %d", len(buf), FooterSize)
+	}
+	if string(buf[0:8]) != ImageMagic {
+		return ImageMeta{}, fmt.Errorf("graph: bad image magic %q", buf[0:8])
+	}
+	if got := crc32.ChecksumIEEE(buf[:60]); got != binary.LittleEndian.Uint32(buf[60:]) {
+		return ImageMeta{}, fmt.Errorf("graph: image footer checksum mismatch")
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != ImageVersion {
+		return ImageMeta{}, fmt.Errorf("graph: image version %d, this library reads version %d", v, ImageVersion)
+	}
+	return ImageMeta{
+		BlockWords:  int(binary.LittleEndian.Uint32(buf[12:])),
+		RawLen:      int64(binary.LittleEndian.Uint64(buf[16:])),
+		EdgesLen:    int64(binary.LittleEndian.Uint64(buf[24:])),
+		NumVertices: int64(binary.LittleEndian.Uint64(buf[32:])),
+		Generation:  binary.LittleEndian.Uint64(buf[40:]),
+		CanonIOs:    binary.LittleEndian.Uint64(buf[48:]),
+	}, nil
+}
+
+// Validate checks the metadata's internal consistency and returns the
+// image's CanonLayout — the LayoutFor assertion an adopting Open is
+// written against. A caller must additionally check that the file holds
+// exactly the block-rounded layout.Mark words followed by the footer.
+func (m ImageMeta) Validate() (CanonLayout, error) {
+	if m.BlockWords <= 0 || m.BlockWords&(m.BlockWords-1) != 0 {
+		return CanonLayout{}, fmt.Errorf("graph: image block size %d is not a positive power of two", m.BlockWords)
+	}
+	if m.RawLen < 0 || m.EdgesLen < 0 || m.NumVertices < 0 {
+		return CanonLayout{}, fmt.Errorf("graph: negative image dimensions (m=%d e=%d nv=%d)", m.RawLen, m.EdgesLen, m.NumVertices)
+	}
+	if m.RawLen == 0 {
+		if m.EdgesLen != 0 || m.NumVertices != 0 {
+			return CanonLayout{}, fmt.Errorf("graph: empty image with e=%d nv=%d", m.EdgesLen, m.NumVertices)
+		}
+		return LayoutFor(0, 0, 0, m.BlockWords), nil
+	}
+	if m.EdgesLen == 0 || m.EdgesLen > m.RawLen {
+		return CanonLayout{}, fmt.Errorf("graph: deduplicated edge count %d not in [1, %d]", m.EdgesLen, m.RawLen)
+	}
+	if m.NumVertices < 2 || m.NumVertices > 2*m.EdgesLen {
+		return CanonLayout{}, fmt.Errorf("graph: vertex count %d not in [2, %d]", m.NumVertices, 2*m.EdgesLen)
+	}
+	return LayoutFor(m.RawLen, m.EdgesLen, m.NumVertices, m.BlockWords), nil
+}
+
+// ImageWords returns the image size in words for the given layout under
+// this metadata's block size: the allocation watermark rounded up to a
+// whole block — the address where session scratch starts and where the
+// footer is written.
+func (m ImageMeta) ImageWords(lay CanonLayout) int64 {
+	return (lay.Mark + int64(m.BlockWords) - 1) &^ int64(m.BlockWords-1)
+}

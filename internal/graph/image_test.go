@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+func TestImageFooterRoundTrip(t *testing.T) {
+	metas := []ImageMeta{
+		{BlockWords: 1 << 5, RawLen: 600, EdgesLen: 587, NumVertices: 100, Generation: 0, CanonIOs: 23000},
+		{BlockWords: 1 << 7, RawLen: 587, EdgesLen: 587, NumVertices: 100, Generation: 7, CanonIOs: 40000},
+		{BlockWords: 1 << 5}, // empty graph
+	}
+	for _, m := range metas {
+		buf := m.EncodeFooter()
+		if len(buf) != FooterSize {
+			t.Fatalf("footer is %d bytes, want %d", len(buf), FooterSize)
+		}
+		got, err := DecodeFooter(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip: got %+v, want %+v", got, m)
+		}
+		if _, err := m.Validate(); err != nil {
+			t.Fatalf("validate %+v: %v", m, err)
+		}
+	}
+}
+
+// TestImageFooterRejectsCorruption flips every byte of a valid footer in
+// turn: each corruption must be caught (magic, version, or checksum), so
+// a damaged image can never be adopted silently.
+func TestImageFooterRejectsCorruption(t *testing.T) {
+	m := ImageMeta{BlockWords: 1 << 5, RawLen: 600, EdgesLen: 587, NumVertices: 100, Generation: 3, CanonIOs: 17}
+	buf := m.EncodeFooter()
+	for i := range buf {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0xff
+		if _, err := DecodeFooter(bad); err == nil {
+			t.Fatalf("corruption at byte %d decoded cleanly", i)
+		}
+	}
+	if _, err := DecodeFooter(buf[:FooterSize-1]); err == nil {
+		t.Fatal("short footer decoded cleanly")
+	}
+}
+
+func TestImageFooterRejectsFutureVersion(t *testing.T) {
+	m := ImageMeta{BlockWords: 1 << 5, RawLen: 10, EdgesLen: 10, NumVertices: 5}
+	buf := m.EncodeFooter()
+	// Bump the version and re-checksum, so the version check itself (not
+	// the CRC) must reject the footer.
+	buf[8] = ImageVersion + 1
+	binary.LittleEndian.PutUint32(buf[60:], crc32.ChecksumIEEE(buf[:60]))
+	_, err := DecodeFooter(buf)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: %v, want version error", err)
+	}
+}
+
+func TestImageMetaValidateRejectsNonsense(t *testing.T) {
+	cases := []ImageMeta{
+		{BlockWords: 0, RawLen: 10, EdgesLen: 10, NumVertices: 5},
+		{BlockWords: 3, RawLen: 10, EdgesLen: 10, NumVertices: 5},   // not a power of two
+		{BlockWords: 32, RawLen: -1},                                // negative
+		{BlockWords: 32, RawLen: 0, EdgesLen: 1, NumVertices: 2},    // empty with edges
+		{BlockWords: 32, RawLen: 10, EdgesLen: 11, NumVertices: 5},  // e > m
+		{BlockWords: 32, RawLen: 10, EdgesLen: 0, NumVertices: 0},   // m > 0 with no edges
+		{BlockWords: 32, RawLen: 10, EdgesLen: 10, NumVertices: 1},  // nv < 2
+		{BlockWords: 32, RawLen: 10, EdgesLen: 10, NumVertices: 21}, // nv > 2e
+	}
+	for _, m := range cases {
+		if _, err := m.Validate(); err == nil {
+			t.Fatalf("meta %+v validated", m)
+		}
+	}
+}
+
+// TestImageMetaLayoutMatchesLayoutFor pins that Validate returns exactly
+// the LayoutFor address map — the assertion Open performs against a file
+// it did not write.
+func TestImageMetaLayoutMatchesLayoutFor(t *testing.T) {
+	m := ImageMeta{BlockWords: 1 << 6, RawLen: 1000, EdgesLen: 900, NumVertices: 300}
+	lay, err := m.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LayoutFor(1000, 900, 300, 1<<6)
+	if lay != want {
+		t.Fatalf("layout %+v != LayoutFor %+v", lay, want)
+	}
+	if w := m.ImageWords(lay); w < lay.Mark || w%int64(m.BlockWords) != 0 {
+		t.Fatalf("ImageWords %d is not the block-rounded mark %d", w, lay.Mark)
+	}
+}

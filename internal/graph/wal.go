@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/extmem"
+)
+
+// This file defines the write-ahead-log record format of durable graph
+// handles (see FORMAT.md at the repo root). Each effective Update appends
+// one record — the packed add/remove word lists of its delta, tagged with
+// the generation the merge installs — to <DiskPath>.wal before the new
+// generation becomes current, so a crash between Updates replays on Open
+// to the exact generation: the recovery contract is that replaying the
+// surviving record prefix over the base image yields a graph
+// byte-identical (emission, Result, I/O statistics) to a fresh Build of
+// the replayed edge set, which holds because replay runs the very same
+// deterministic MergeDelta the live Update ran.
+//
+// Records are length-prefixed and checksummed; a record that is
+// truncated mid-write by a crash (or corrupted) fails its checksum, and
+// the scanner treats everything from the first bad record on as a torn
+// tail — the longest valid prefix defines the replayed edge set.
+
+// WALRecord is one logged delta: the packed (self-loop-free, possibly
+// duplicate) add and remove word lists of an effective Update, and the
+// generation number its merge installed.
+type WALRecord struct {
+	Gen           uint64
+	Adds, Removes []extmem.Word
+}
+
+// ErrWALTorn reports a WAL record that cannot be decoded — truncated by
+// a crash mid-append, or corrupted. Scanning stops at the first torn
+// record; everything before it is the valid prefix.
+var ErrWALTorn = errors.New("graph: torn WAL record")
+
+// walHeaderSize is the record header: u32 payload length + u32 CRC-32.
+const walHeaderSize = 8
+
+// walPayloadFixed is the fixed part of the payload: u64 generation,
+// u32 add count, u32 remove count.
+const walPayloadFixed = 16
+
+// maxWALPayload bounds a single record's payload so a corrupt length
+// field cannot drive a giant allocation; 1 GiB of packed words is far
+// beyond any batched delta.
+const maxWALPayload = 1 << 30
+
+// AppendWALRecord appends the encoded record to dst and returns the
+// extended slice. All integers are little-endian.
+func AppendWALRecord(dst []byte, r WALRecord) []byte {
+	payload := walPayloadFixed + 8*(len(r.Adds)+len(r.Removes))
+	start := len(dst)
+	dst = append(dst, make([]byte, walHeaderSize+payload)...)
+	b := dst[start:]
+	binary.LittleEndian.PutUint32(b[0:], uint32(payload))
+	p := b[walHeaderSize:]
+	binary.LittleEndian.PutUint64(p[0:], r.Gen)
+	binary.LittleEndian.PutUint32(p[8:], uint32(len(r.Adds)))
+	binary.LittleEndian.PutUint32(p[12:], uint32(len(r.Removes)))
+	off := walPayloadFixed
+	for _, w := range r.Adds {
+		binary.LittleEndian.PutUint64(p[off:], w)
+		off += 8
+	}
+	for _, w := range r.Removes {
+		binary.LittleEndian.PutUint64(p[off:], w)
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(b[4:], crc32.ChecksumIEEE(p))
+	return dst
+}
+
+// DecodeWALRecord decodes the record at the front of b, returning it and
+// the number of bytes consumed. Any defect — short buffer, impossible
+// length, checksum or count mismatch — is reported as ErrWALTorn
+// (wrapped with the detail): the caller cannot distinguish a crash-torn
+// tail from corruption, and treats both as end-of-log.
+func DecodeWALRecord(b []byte) (WALRecord, int, error) {
+	if len(b) < walHeaderSize {
+		return WALRecord{}, 0, fmt.Errorf("%w: %d-byte tail", ErrWALTorn, len(b))
+	}
+	payload := int(binary.LittleEndian.Uint32(b[0:]))
+	if payload < walPayloadFixed || payload > maxWALPayload || (payload-walPayloadFixed)%8 != 0 {
+		return WALRecord{}, 0, fmt.Errorf("%w: impossible payload length %d", ErrWALTorn, payload)
+	}
+	if len(b) < walHeaderSize+payload {
+		return WALRecord{}, 0, fmt.Errorf("%w: payload of %d bytes, %d available", ErrWALTorn, payload, len(b)-walHeaderSize)
+	}
+	p := b[walHeaderSize : walHeaderSize+payload]
+	if got := crc32.ChecksumIEEE(p); got != binary.LittleEndian.Uint32(b[4:]) {
+		return WALRecord{}, 0, fmt.Errorf("%w: checksum mismatch", ErrWALTorn)
+	}
+	nAdd := int(binary.LittleEndian.Uint32(p[8:]))
+	nRem := int(binary.LittleEndian.Uint32(p[12:]))
+	if walPayloadFixed+8*(nAdd+nRem) != payload {
+		return WALRecord{}, 0, fmt.Errorf("%w: counts %d+%d disagree with payload length %d", ErrWALTorn, nAdd, nRem, payload)
+	}
+	rec := WALRecord{Gen: binary.LittleEndian.Uint64(p[0:])}
+	off := walPayloadFixed
+	if nAdd > 0 {
+		rec.Adds = make([]extmem.Word, nAdd)
+		for i := range rec.Adds {
+			rec.Adds[i] = binary.LittleEndian.Uint64(p[off:])
+			off += 8
+		}
+	}
+	if nRem > 0 {
+		rec.Removes = make([]extmem.Word, nRem)
+		for i := range rec.Removes {
+			rec.Removes[i] = binary.LittleEndian.Uint64(p[off:])
+			off += 8
+		}
+	}
+	return rec, walHeaderSize + payload, nil
+}
+
+// ScanWAL decodes the longest valid record prefix of a WAL image,
+// returning the records and the byte length of that prefix. A non-empty
+// remainder is a torn tail: the caller truncates the log there before
+// appending new records.
+func ScanWAL(b []byte) (recs []WALRecord, validLen int) {
+	for validLen < len(b) {
+		rec, n, err := DecodeWALRecord(b[validLen:])
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		validLen += n
+	}
+	return recs, validLen
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/extmem"
+)
+
+func walFixture() []WALRecord {
+	return []WALRecord{
+		{Gen: 1, Adds: []extmem.Word{Pack(1, 2), Pack(2, 3)}, Removes: []extmem.Word{Pack(0, 9)}},
+		{Gen: 2, Removes: []extmem.Word{Pack(1, 2)}},
+		{Gen: 3, Adds: []extmem.Word{Pack(7, 8)}},
+		{Gen: 4}, // degenerate but encodable: no packed words
+	}
+}
+
+func encodeAll(recs []WALRecord) []byte {
+	var buf []byte
+	for _, r := range recs {
+		buf = AppendWALRecord(buf, r)
+	}
+	return buf
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	recs := walFixture()
+	buf := encodeAll(recs)
+	got, validLen := ScanWAL(buf)
+	if validLen != len(buf) {
+		t.Fatalf("valid prefix %d of %d bytes", validLen, len(buf))
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip:\ngot  %+v\nwant %+v", got, recs)
+	}
+}
+
+// TestWALScanStopsAtEveryCut truncates the log at every byte position:
+// the scanner must recover exactly the records whose encodings fit
+// wholly in the prefix, never error, and never read past the cut.
+func TestWALScanStopsAtEveryCut(t *testing.T) {
+	recs := walFixture()
+	buf := encodeAll(recs)
+	// Record end offsets, to know how many full records each cut keeps.
+	ends := make([]int, 0, len(recs))
+	off := 0
+	for range recs {
+		_, n, err := DecodeWALRecord(buf[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		ends = append(ends, off)
+	}
+	for cut := 0; cut <= len(buf); cut++ {
+		wantN := 0
+		wantValid := 0
+		for i, e := range ends {
+			if e <= cut {
+				wantN = i + 1
+				wantValid = e
+			}
+		}
+		got, validLen := ScanWAL(buf[:cut])
+		if len(got) != wantN || validLen != wantValid {
+			t.Fatalf("cut %d: %d records / prefix %d, want %d / %d", cut, len(got), validLen, wantN, wantValid)
+		}
+		if wantN > 0 && !reflect.DeepEqual(got, recs[:wantN]) {
+			t.Fatalf("cut %d: wrong records", cut)
+		}
+	}
+}
+
+// TestWALRejectsCorruption flips each byte of a single-record log: the
+// decoder must report ErrWALTorn (length, checksum, or count mismatch)
+// for every corruption that does not leave the record exactly valid.
+func TestWALRejectsCorruption(t *testing.T) {
+	buf := encodeAll(walFixture()[:1])
+	for i := range buf {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x01
+		_, _, err := DecodeWALRecord(bad)
+		if err == nil {
+			t.Fatalf("corruption at byte %d decoded cleanly", i)
+		}
+		if !errors.Is(err, ErrWALTorn) {
+			t.Fatalf("corruption at byte %d: %v, want ErrWALTorn", i, err)
+		}
+	}
+}
+
+func TestWALRejectsGiantLength(t *testing.T) {
+	buf := encodeAll(walFixture()[:1])
+	// An absurd length field must be rejected before any allocation.
+	buf[0], buf[1], buf[2], buf[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, err := DecodeWALRecord(buf); !errors.Is(err, ErrWALTorn) {
+		t.Fatalf("giant length: %v, want ErrWALTorn", err)
+	}
+}
+
+// FuzzWALReplay fuzzes the record decoder with arbitrary bytes: it must
+// never panic or over-read, a decoded record must re-encode to exactly
+// the bytes it was decoded from, and ScanWAL's valid prefix must itself
+// rescan to the same records.
+func FuzzWALReplay(f *testing.F) {
+	f.Add(encodeAll(walFixture()))
+	f.Add(encodeAll(walFixture()[:1])[:11]) // torn mid-header/payload
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, validLen := ScanWAL(data)
+		if validLen < 0 || validLen > len(data) {
+			t.Fatalf("valid prefix %d outside [0,%d]", validLen, len(data))
+		}
+		var re []byte
+		for _, r := range recs {
+			re = AppendWALRecord(re, r)
+		}
+		if string(re) != string(data[:validLen]) {
+			t.Fatal("decoded records do not re-encode to the valid prefix")
+		}
+		again, againLen := ScanWAL(data[:validLen])
+		if againLen != validLen || !reflect.DeepEqual(again, recs) {
+			t.Fatal("rescan of the valid prefix diverged")
+		}
+	})
+}

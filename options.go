@@ -91,8 +91,16 @@ type Options struct {
 	// path and leaves the frozen canonical image there, query sessions
 	// read the shared core from it and spill their private scratch to
 	// per-session temp files "<DiskPath>.q<n>" (removed when the query
-	// finishes), and Close releases the image file. The image outlives the
-	// handle on disk.
+	// finishes).
+	//
+	// The image is durable: Build stamps it with a checksummed footer so a
+	// later Open(path, opts) adopts it without re-canonicalizing, every
+	// effective Update appends its delta to a fsynced write-ahead log at
+	// "<DiskPath>.wal", and Checkpoint/Close atomically promote the
+	// latest generation over the image (Close also removes the log, whose
+	// records the promoted image subsumes). After a crash, Open replays
+	// the log to the exact pre-crash generation. FORMAT.md specifies the
+	// on-disk formats; the image outlives the handle on disk.
 	DiskPath string
 	// SequentialCanon runs the Build-time canonicalization with the
 	// sequential reference sorts on the coordinator instead of the

@@ -77,6 +77,32 @@
 // queries are untouched by concurrent updates (snapshot isolation), and
 // a superseded generation's core is released when its last query drains.
 //
+// # Durability and recovery
+//
+// Disk-backed handles (Options.DiskPath) make the canonical image a
+// first-class durable artifact. Build stamps the image file with a
+// versioned, checksummed footer describing its layout (FORMAT.md
+// specifies the bytes), and Open adopts such an image without re-paying
+// the O(sort(E)) canonicalization — the footer is validated against the
+// recomputed layout, the canonical extents are rebound in place, and
+// queries run immediately; the adopted generation reports CanonIOs = 0,
+// the one divergence from a fresh Build:
+//
+//	g, res, err := repro.Open(path, repro.Options{})
+//	// res.Replayed, res.ReplayIOs, res.AdoptIOs say what recovery did
+//
+// Every effective Update of a disk-backed handle is also appended to a
+// write-ahead log at DiskPath+".wal" — length-prefixed, checksummed,
+// fsynced before the new generation becomes current — and Checkpoint
+// (or Close) atomically promotes the latest generation over the image
+// and truncates the log. A crash at any point therefore loses nothing
+// that was confirmed: Open replays the surviving whole records through
+// the same deterministic delta merges, discarding a torn tail, and the
+// recovered graph is byte-identical — emission, Results, I/O statistics,
+// canonical artifacts — to a fresh Build of the replayed edge set at
+// every Workers value. At most one live handle may own a durable image
+// at a time.
+//
 // # Parallel execution
 //
 // The cache-aware algorithms decompose into independent subproblems — the

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 
@@ -75,7 +76,19 @@ type UpdateResult struct {
 // and ctx.Err() is returned. ctx may be nil. A delta with no effective
 // changes installs nothing and reports the current generation (with the
 // MergeIOs spent discovering that).
+//
+// On disk-backed handles every effective Update is also appended to the
+// write-ahead log at <DiskPath>.wal and fsynced before the new generation
+// becomes current, so a crash before the next Checkpoint/Close replays it
+// on Open — see Open and the package's "Durability and recovery" section.
 func (g *Graph) Update(ctx context.Context, d Delta) (UpdateResult, error) {
+	return g.applyPacked(ctx, packDelta(d.Add), packDelta(d.Remove), true)
+}
+
+// applyPacked is Update on pre-packed delta words. WAL replay calls it
+// with durable=false: a replayed record is already in the log, so
+// re-appending it would double the history.
+func (g *Graph) applyPacked(ctx context.Context, adds, removes []extmem.Word, durable bool) (UpdateResult, error) {
 	g.updateMu.Lock()
 	defer g.updateMu.Unlock()
 
@@ -126,7 +139,7 @@ func (g *Graph) Update(ctx context.Context, d Delta) (UpdateResult, error) {
 		ByDeg:    sp.ExtentAt(old.layout.ByDeg, int64(old.numVertices)),
 		RankByID: sp.ExtentAt(old.layout.RankByID, int64(old.numVertices)),
 	}
-	m, err := graph.MergeDelta(ctx, sp, view, packDelta(d.Add), packDelta(d.Remove), sorter)
+	m, err := graph.MergeDelta(ctx, sp, view, adds, removes, sorter)
 	if err != nil {
 		return UpdateResult{}, err
 	}
@@ -186,6 +199,7 @@ func (g *Graph) Update(ctx context.Context, d Delta) (UpdateResult, error) {
 		path:        genPath,
 		coreWords:   (lay.Mark + int64(g.opts.BlockWords) - 1) &^ int64(g.opts.BlockWords-1),
 		layout:      lay,
+		rawLen:      eNew, // an update generation's layout is LayoutFor(e, e, nv)
 		numVertices: m.NumVertices,
 		edgesBase:   lay.EdgeOut,
 		edgesLen:    eNew,
@@ -209,6 +223,18 @@ func (g *Graph) Update(ctx context.Context, d Delta) (UpdateResult, error) {
 	} else {
 		ng.core = extmem.WordsCore(img.Snapshot(img.ExtentAt(0, lay.Mark)))
 		img.Close()
+	}
+
+	// Durability point: log the delta — fsynced — before the generation it
+	// produces becomes visible. A crash after the append replays this
+	// record on Open; a crash before it loses an update that was never
+	// confirmed to the caller. The pre-pack edge words are logged (not the
+	// sorted merge input), so replay runs the identical deterministic
+	// merge.
+	if durable && g.opts.DiskPath != "" {
+		if err := g.walAppend(graph.WALRecord{Gen: ng.gen, Adds: adds, Removes: removes}); err != nil {
+			return UpdateResult{}, errors.Join(err, ng.release())
+		}
 	}
 
 	// Atomic install: new queries pin the new generation; the old one is
