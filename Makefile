@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race bench bench-gated bench-compare examples lint staticcheck fmt clean
+.PHONY: all build test race bench bench-gated bench-compare examples docs lint staticcheck fmt clean
 
 all: lint build test
 
@@ -20,6 +20,12 @@ test:
 # `go test`); each self-checks and exits non-zero on inconsistencies.
 examples:
 	for d in examples/*/; do echo "=== go run ./$$d"; $(GO) run ./$$d || exit 1; done
+
+# Documentation gate: every relative markdown link must resolve (file
+# and #anchor), and every exported identifier of the public `repro`
+# package must carry a doc comment. See cmd/doccheck.
+docs:
+	$(GO) run ./cmd/doccheck
 
 # Race-detect the parallel execution engine, its memory model, the
 # parallel sort substrate, and the concurrent-query public surface.

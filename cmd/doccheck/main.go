@@ -1,0 +1,302 @@
+// Command doccheck is the repository's documentation gate, run by the
+// CI docs job (`make docs`). It enforces two invariants with no
+// dependencies beyond the standard library:
+//
+//  1. Markdown link integrity: every relative link in every *.md file
+//     under -root resolves — the target file exists, and a #fragment
+//     resolves to a heading anchor of the target (GitHub slug rules:
+//     lowercase, punctuation stripped, spaces to hyphens, -N suffixes
+//     for duplicates). External links (with a URL scheme) are not
+//     fetched.
+//
+//  2. Godoc coverage: every `go doc`-visible exported identifier of the
+//     package at -pkg — package clause, functions, types, methods, and
+//     const/var declarations — carries a doc comment. A const/var group
+//     may be documented at the group level or per spec.
+//
+// Usage:
+//
+//	doccheck            # -root . -pkg . : check the whole repo
+//	doccheck -root docs # links only under docs/
+//	doccheck -pkg ""    # skip the godoc gate
+//
+// Exit status is non-zero if any check fails; every failure is listed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "directory tree whose *.md files are link-checked")
+	pkg := flag.String("pkg", ".", "directory of the Go package whose exported godoc coverage is gated (empty = skip)")
+	// The retrieved reference artifacts (paper abstract, related-work
+	// dump, code snippets) carry links into documents that were never
+	// vendored; they are source material, not this repo's documentation.
+	skip := flag.String("skip", "PAPER.md,PAPERS.md,SNIPPETS.md", "comma-separated markdown basenames exempt from link checking")
+	flag.Parse()
+	skipSet := map[string]bool{}
+	for _, s := range strings.Split(*skip, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			skipSet[s] = true
+		}
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	if err := checkLinks(*root, skipSet, fail); err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if *pkg != "" {
+		if err := checkGodoc(*pkg, fail); err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println(f)
+		}
+		fmt.Printf("doccheck: %d failure(s)\n", len(failures))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// linkRE matches inline markdown links and images: [text](target) /
+// ![alt](target). Reference-style links are rare in this repo and not
+// checked.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)`)
+
+// codeFenceRE strips fenced code blocks before link extraction, so
+// example snippets containing bracket syntax are not treated as links.
+var codeFenceRE = regexp.MustCompile("(?s)```.*?```|`[^`\n]*`")
+
+// checkLinks verifies every relative markdown link under root, except
+// in files whose basename is in skip.
+func checkLinks(root string, skip map[string]bool, fail func(string, ...any)) error {
+	var mdFiles []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") && !skip[filepath.Base(path)] {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Strings(mdFiles)
+
+	// Anchor tables are built lazily, once per target file.
+	anchors := map[string]map[string]bool{}
+	anchorsOf := func(path string) (map[string]bool, error) {
+		if a, ok := anchors[path]; ok {
+			return a, nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		a := headingAnchors(string(b))
+		anchors[path] = a
+		return a, nil
+	}
+
+	for _, md := range mdFiles {
+		b, err := os.ReadFile(md)
+		if err != nil {
+			return err
+		}
+		text := codeFenceRE.ReplaceAllString(string(b), "")
+		for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := md
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(md), file)
+				st, err := os.Stat(resolved)
+				if err != nil {
+					fail("%s: broken link %q: %v", md, target, err)
+					continue
+				}
+				if st.IsDir() {
+					if frag != "" {
+						fail("%s: link %q has a fragment but targets a directory", md, target)
+					}
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.EqualFold(filepath.Ext(resolved), ".md") {
+				continue // anchors into non-markdown files are not checkable
+			}
+			a, err := anchorsOf(resolved)
+			if err != nil {
+				return err
+			}
+			if !a[strings.ToLower(frag)] {
+				fail("%s: link %q: no heading anchor #%s in %s", md, target, frag, resolved)
+			}
+		}
+	}
+	return nil
+}
+
+// headingAnchors extracts the GitHub-style anchor slugs of a markdown
+// document's headings.
+func headingAnchors(text string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		title := strings.TrimLeft(trimmed, "#")
+		if title == trimmed || (title != "" && title[0] != ' ' && title[0] != '\t') {
+			continue // not a heading (e.g. "#include")
+		}
+		slug := slugify(strings.TrimSpace(title))
+		if n := seen[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		seen[slug]++
+	}
+	return out
+}
+
+// slugify lowercases, drops everything but letters, digits, spaces,
+// hyphens and underscores, and turns spaces into hyphens — GitHub's
+// heading-anchor rules, close enough for ASCII-plus-punctuation
+// headings like this repo's.
+func slugify(title string) string {
+	title = strings.ReplaceAll(title, "`", "")
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// checkGodoc parses the package in dir and reports every exported,
+// go doc-visible identifier without a doc comment.
+func checkGodoc(dir string, fail func(string, ...any)) error {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no Go files in %s", dir)
+	}
+	p, err := doc.NewFromFiles(fset, files, "repro")
+	if err != nil {
+		return err
+	}
+
+	if strings.TrimSpace(p.Doc) == "" {
+		fail("package %s: missing package doc comment", p.Name)
+	}
+	checkValues := func(kind string, vals []*doc.Value) {
+		for _, v := range vals {
+			if strings.TrimSpace(v.Doc) != "" {
+				continue
+			}
+			// No group doc: every exported spec must be documented
+			// itself.
+			for _, spec := range v.Decl.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				documented := vs.Doc != nil || vs.Comment != nil
+				for _, n := range vs.Names {
+					if n.IsExported() && !documented {
+						fail("%s %s: missing doc comment", kind, n.Name)
+					}
+				}
+			}
+		}
+	}
+	checkFuncs := func(fns []*doc.Func, owner string) {
+		for _, f := range fns {
+			if !ast.IsExported(f.Name) {
+				continue
+			}
+			if strings.TrimSpace(f.Doc) == "" {
+				if owner != "" {
+					fail("method %s.%s: missing doc comment", owner, f.Name)
+				} else {
+					fail("func %s: missing doc comment", f.Name)
+				}
+			}
+		}
+	}
+	checkValues("const", p.Consts)
+	checkValues("var", p.Vars)
+	checkFuncs(p.Funcs, "")
+	for _, t := range p.Types {
+		if ast.IsExported(t.Name) && strings.TrimSpace(t.Doc) == "" {
+			fail("type %s: missing doc comment", t.Name)
+		}
+		checkValues("const", t.Consts)
+		checkValues("var", t.Vars)
+		checkFuncs(t.Funcs, "")
+		checkFuncs(t.Methods, t.Name)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func collect() (fail func(string, ...any), got *[]string) {
+	var failures []string
+	return func(format string, args ...any) {
+		failures = append(failures, format)
+		_ = args
+	}, &failures
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Quick start":               "quick-start",
+		"The `repro` package":       "the-repro-package",
+		"E20: daemon round-trip":    "e20-daemon-round-trip",
+		"Cursor & resume semantics": "cursor--resume-semantics",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHeadingAnchors(t *testing.T) {
+	doc := "# Title\n\n## Setup\n\n```sh\n# not a heading\n```\n\n## Setup\n\n#include <no>\n"
+	a := headingAnchors(doc)
+	for _, want := range []string{"title", "setup", "setup-1"} {
+		if !a[want] {
+			t.Errorf("missing anchor %q in %v", want, a)
+		}
+	}
+	if a["not-a-heading"] || a["include-no"] {
+		t.Errorf("false anchors in %v", a)
+	}
+}
+
+func TestCheckLinksFindsBreakage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, text string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("good.md", "# Good\n\nSee [other](other.md#here) and [ext](https://example.com/x).\n")
+	write("other.md", "# Here\n")
+	write("bad.md", "[gone](missing.md) and [noanchor](other.md#nope)\n\n`[code](not-a.md)`\n")
+	write("SKIPPED.md", "[gone too](also-missing.md)\n")
+
+	fail, failures := collect()
+	if err := checkLinks(dir, map[string]bool{"SKIPPED.md": true}, fail); err != nil {
+		t.Fatal(err)
+	}
+	if len(*failures) != 2 {
+		t.Fatalf("want 2 failures (missing file + missing anchor), got %d", len(*failures))
+	}
+}
+
+func TestCheckGodocFindsGaps(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+// Documented is fine.
+func Documented() {}
+
+func Bare() {}
+
+type Undoc struct{}
+
+// T is documented.
+type T struct{}
+
+func (T) Method() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fail, failures := collect()
+	if err := checkGodoc(dir, fail); err != nil {
+		t.Fatal(err)
+	}
+	// Missing: package doc, func Bare, type Undoc, method T.Method.
+	if len(*failures) != 4 {
+		t.Fatalf("want 4 failures, got %d: %v", len(*failures), *failures)
+	}
+	joined := strings.Join(*failures, "\n")
+	for _, want := range []string{"package", "func %s", "type %s", "method %s.%s"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("failure formats missing %q: %v", want, *failures)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command trienumd serves repro graphs over HTTP/JSON: a multi-tenant
+// query daemon over the library's handle machinery (immutable shared
+// cores, per-query session Spaces, MVCC generations, durable images).
+//
+// Usage:
+//
+//	trienumd -addr :7154
+//	trienumd -addr :7154 -open social=social.img -build toy=gnm:n=1000,m=8000
+//	trienumd -addr :7154 -max-tenant-sessions 4 -max-tenant-mwords 262144
+//
+// Endpoints (docs/API.md specifies the wire contract in full):
+//
+//	GET    /v1/graphs                   list loaded graphs
+//	POST   /v1/graphs                   build or open a graph
+//	GET    /v1/graphs/{id}              one graph's info
+//	DELETE /v1/graphs/{id}              close and unload
+//	POST   /v1/graphs/{id}/query       stream results as NDJSON
+//	POST   /v1/graphs/{id}/update      apply a batched delta
+//	POST   /v1/graphs/{id}/checkpoint  promote the durable image
+//	GET    /v1/stats                    per-tenant budgets and usage
+//
+// Query streams preserve the library's determinism contract over the
+// wire: the NDJSON lines are byte-identical to the in-process callback
+// query at every worker count, a limit-stopped stream returns an opaque
+// cursor, and resuming with it emits exactly the uncursored stream's
+// suffix. Tenants (the X-Tenant header) are admission-controlled
+// budgets of concurrent sessions and session M-words; exhausted budgets
+// get 429.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: the listener
+// closes, in-flight query streams drain to their trailers (bounded by
+// -shutdown-timeout), and every graph handle is closed — disk-backed
+// ones checkpoint their latest generation over the image on the way
+// out.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+// multiFlag collects repeated id=value flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7154", "listen address")
+		maxSessions = flag.Int("max-tenant-sessions", 0, "max concurrent sessions per tenant (0 = unlimited)")
+		maxMWords   = flag.Int64("max-tenant-mwords", 0, "max total session M-words per tenant (0 = unlimited)")
+		flushEvery  = flag.Int("flush-every", 0, "flush NDJSON streams every N lines (0 = default)")
+		m           = flag.Int("m", 0, "MemoryWords for graphs loaded via -open/-build (0 = library default)")
+		b           = flag.Int("b", 0, "BlockWords for graphs loaded via -open/-build (0 = library default)")
+		workers     = flag.Int("workers", 0, "default Workers for loaded graphs (0 = one per CPU)")
+		shutdownT   = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining active streams on shutdown")
+		opens       multiFlag
+		builds      multiFlag
+	)
+	flag.Var(&opens, "open", "id=path: adopt a durable image at boot (repeatable)")
+	flag.Var(&builds, "build", "id=spec: build a memory graph from a generator spec at boot (repeatable)")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxTenantSessions:    *maxSessions,
+		MaxTenantMemoryWords: *maxMWords,
+		FlushEvery:           *flushEvery,
+	})
+	opts := repro.Options{MemoryWords: *m, BlockWords: *b, Workers: *workers}
+	if err := bootLoad(srv, opens, builds, opts); err != nil {
+		srv.Close()
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("trienumd listening on %s", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("%v: draining active streams (up to %v)", sig, *shutdownT)
+	case err := <-errCh:
+		srv.Close()
+		log.Fatal(err)
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight streams run to
+	// their trailers, then close every handle — Graph.Close's
+	// close-guard waits for any query that outlived the HTTP drain, and
+	// disk-backed handles promote their latest generation (checkpoint)
+	// before the process exits.
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownT)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v (closing anyway)", err)
+		hs.Close()
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("closing graphs: %v", err)
+	}
+	log.Printf("trienumd stopped")
+}
+
+// bootLoad registers the -open and -build graphs before the listener
+// starts, so they are queryable from the first request.
+func bootLoad(srv *serve.Server, opens, builds multiFlag, opts repro.Options) error {
+	for _, kv := range opens {
+		id, path, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("-open %q: want id=path", kv)
+		}
+		g, or, err := repro.Open(path, opts)
+		if err != nil {
+			return fmt.Errorf("-open %s: %w", kv, err)
+		}
+		if err := srv.AddGraph(id, g, path); err != nil {
+			return errors.Join(err, g.Close())
+		}
+		log.Printf("opened %s from %s: generation %d, %d vertices, %d edges, %d WAL records replayed",
+			id, path, or.Generation, or.Vertices, or.Edges, or.Replayed)
+	}
+	for _, kv := range builds {
+		id, spec, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("-build %q: want id=spec", kv)
+		}
+		g, err := repro.Build(repro.FromSpec(spec), opts)
+		if err != nil {
+			return fmt.Errorf("-build %s: %w", kv, err)
+		}
+		if err := srv.AddGraph(id, g, ""); err != nil {
+			return errors.Join(err, g.Close())
+		}
+		log.Printf("built %s from %s: %d vertices, %d edges", id, spec, g.NumVertices(), g.NumEdges())
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Admission control: a tenant is a budget.
+//
+// Every query and update session the daemon runs costs real internal
+// memory — the session Space's M-word cache (the graph's
+// Options.MemoryWords) — and the admission controller meters exactly
+// that unit per tenant: at most MaxSessions concurrent sessions and at
+// most MaxMemoryWords total M-words outstanding. Work beyond either cap
+// is rejected immediately (the handler answers 429) instead of queueing,
+// so one tenant saturating its budget cannot delay another tenant's
+// admissions; budgets are independent, and the underlying handle runs
+// all admitted sessions concurrently (PR 4's shared-core isolation).
+
+// errOverBudget is the admission failure; the handler maps it to 429.
+type errOverBudget struct {
+	tenant string
+	what   string
+}
+
+func (e errOverBudget) Error() string {
+	return fmt.Sprintf("tenant %q over %s budget", e.tenant, e.what)
+}
+
+// admission tracks per-tenant budgets and cumulative usage statistics.
+// A zero cap means unlimited.
+type admission struct {
+	maxSessions int
+	maxWords    int64
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// tenantState is the live budget plus the cumulative counters surfaced
+// on /v1/stats. Guarded by admission.mu.
+type tenantState struct {
+	sessions int
+	words    int64
+
+	admitted  uint64
+	rejected  uint64
+	queries   uint64
+	updates   uint64
+	emissions uint64
+	reads     uint64
+	writes    uint64
+	updateIOs uint64
+	bytes     uint64
+}
+
+func newAdmission(maxSessions int, maxWords int64) *admission {
+	return &admission{
+		maxSessions: maxSessions,
+		maxWords:    maxWords,
+		tenants:     map[string]*tenantState{},
+	}
+}
+
+func (a *admission) state(tenant string) *tenantState {
+	st := a.tenants[tenant]
+	if st == nil {
+		st = &tenantState{}
+		a.tenants[tenant] = st
+	}
+	return st
+}
+
+// acquire admits one session of `words` M-words for tenant, returning
+// the release closure, or an errOverBudget when either cap would be
+// exceeded. Release is idempotent.
+func (a *admission) acquire(tenant string, words int64) (func(), error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(tenant)
+	if a.maxSessions > 0 && st.sessions+1 > a.maxSessions {
+		st.rejected++
+		return nil, errOverBudget{tenant, "session"}
+	}
+	if a.maxWords > 0 && st.words+words > a.maxWords {
+		st.rejected++
+		return nil, errOverBudget{tenant, "memory"}
+	}
+	st.sessions++
+	st.words += words
+	st.admitted++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			st.sessions--
+			st.words -= words
+			a.mu.Unlock()
+		})
+	}, nil
+}
+
+// recordQuery folds a completed query's deterministic statistics into
+// the tenant's counters.
+func (a *admission) recordQuery(tenant string, emissions, reads, writes, bytes uint64) {
+	a.mu.Lock()
+	st := a.state(tenant)
+	st.queries++
+	st.emissions += emissions
+	st.reads += reads
+	st.writes += writes
+	st.bytes += bytes
+	a.mu.Unlock()
+}
+
+// recordUpdate folds a completed update's merge cost into the tenant's
+// counters.
+func (a *admission) recordUpdate(tenant string, mergeIOs uint64) {
+	a.mu.Lock()
+	st := a.state(tenant)
+	st.updates++
+	st.updateIOs += mergeIOs
+	a.mu.Unlock()
+}
+
+// snapshot renders every tenant seen so far, for /v1/stats. Map
+// iteration order does not leak: the JSON encoder sorts map keys, and
+// tenantNames gives tests a deterministic view too.
+func (a *admission) snapshot() map[string]TenantStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]TenantStats, len(a.tenants))
+	for name, st := range a.tenants {
+		out[name] = TenantStats{
+			ActiveSessions:    st.sessions,
+			ActiveMemoryWords: st.words,
+			Admitted:          st.admitted,
+			Rejected:          st.rejected,
+			Queries:           st.queries,
+			Updates:           st.updates,
+			Emissions:         st.emissions,
+			BlockReads:        st.reads,
+			BlockWrites:       st.writes,
+			UpdateIOs:         st.updateIOs,
+			BytesStreamed:     st.bytes,
+		}
+	}
+	return out
+}
+
+// tenantNames lists the tenants seen so far, sorted.
+func (a *admission) tenantNames() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.tenants))
+	for n := range a.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

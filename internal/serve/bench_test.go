@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// BenchmarkE20ServeQuery measures the daemon round-trip overhead of a
+// streamed query against the in-process callback query it wraps — the
+// price of the network boundary — and asserts the served-results
+// byte-identity contract on every iteration: the NDJSON data lines must
+// equal the in-process stream encoded with the same wire encoder, and
+// the trailer Result must equal the in-process Result. Reported
+// metrics: IOs (the deterministic per-query block transfers, identical
+// on both sides by construction), wireB/op (response bytes), and
+// xRTT (wall-clock ratio wire/in-process; scheduling-dependent, not
+// gated). See EXPERIMENTS.md E20.
+func BenchmarkE20ServeQuery(b *testing.B) {
+	g, err := repro.Build(repro.FromSpec("gnm:n=400,m=2800"), repro.Options{Seed: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{})
+	if err := s.AddGraph("g", g, ""); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	// In-process reference: stream bytes and Result, plus its wall-clock.
+	var want []byte
+	t0 := time.Now()
+	res, err := g.TrianglesFunc(context.Background(), repro.Query{Seed: 1}, func(x, y, z uint32) {
+		want = AppendEmission(want, []uint32{x, y, z})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inprocNs := float64(time.Since(t0).Nanoseconds())
+	wantRes := ToWireResult(res)
+	qb, _ := json.Marshal(QueryRequest{Seed: 1})
+
+	var wireBytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/graphs/g/query", "application/json", bytes.NewReader(qb))
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wireBytes = len(raw)
+		nl := bytes.LastIndexByte(raw[:len(raw)-1], '\n') + 1
+		var trailer QueryTrailer
+		if err := json.Unmarshal(raw[nl:], &trailer); err != nil {
+			b.Fatalf("trailer: %v", err)
+		}
+		if !bytes.Equal(raw[:nl], want) {
+			b.Fatalf("served stream differs from in-process stream (%d vs %d bytes)", nl, len(want))
+		}
+		if trailer.Result != wantRes {
+			b.Fatalf("served result %+v != in-process %+v", trailer.Result, wantRes)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.Stats.IOs()), "IOs")
+	b.ReportMetric(float64(wireBytes), "wireB/op")
+	b.ReportMetric(float64(res.Matches), "matches")
+	if b.N > 0 && inprocNs > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/inprocNs, "xRTT")
+	}
+}

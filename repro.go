@@ -119,8 +119,15 @@
 // byte-identical whether Workers is 1 or NumCPU. emit is always invoked
 // from the calling goroutine, never concurrently.
 //
-// See examples/ for complete programs and EXPERIMENTS.md for the
-// reproduction of every complexity claim in the paper.
+// # Beyond the library
+//
+// cmd/trienum is the command-line front end, and cmd/trienumd serves
+// graph handles over HTTP/JSON to multiple tenants — streaming each
+// query's deterministic emission order as NDJSON with resumable cursors
+// (see docs/API.md). ARCHITECTURE.md maps the layers from the simulated
+// disk up to the daemon and states the determinism contract each one
+// exports; see examples/ for complete programs and EXPERIMENTS.md for
+// the reproduction of every complexity claim in the paper.
 package repro
 
 import (
