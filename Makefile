@@ -28,9 +28,10 @@ docs:
 	$(GO) run ./cmd/doccheck
 
 # Race-detect the parallel execution engine, its memory model, the
-# parallel sort substrate, and the concurrent-query public surface.
+# parallel sort substrate, the concurrent-query public surface, the
+# HTTP daemon layer, and the differential kernel behind subscriptions.
 race:
-	$(GO) test -race . ./internal/trienum ./internal/extmem ./internal/emsort
+	$(GO) test -race . ./internal/trienum ./internal/extmem ./internal/emsort ./internal/serve ./internal/diff
 
 # One iteration of every benchmark in every package (the CI smoke); use
 # BENCHTIME=5x etc. for real measurements.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"slices"
 	"sync"
@@ -613,6 +614,71 @@ func BenchmarkE19Reopen(b *testing.B) {
 	}
 	if replayIOs >= rebuildIOs {
 		b.Fatalf("crash recovery cost %d IOs >= full rebuild %d IOs", replayIOs, rebuildIOs)
+	}
+}
+
+// BenchmarkE21Subscribe — standing queries: the differential kernel's
+// cost of turning a ~1% edge delta into an exact triangle ChangeSet vs.
+// re-enumerating the whole updated graph and diffing by hand. diffIOs is
+// the subscription's ChangeSet.Stats.IOs() — the closure scans of both
+// the retracted and installed generations — and fullIOs is a fresh
+// TrianglesFunc pass over the updated image. The two subscriptions run
+// at Workers 1 and 4 and every iteration asserts their ChangeSets are
+// deeply equal (emissions and I/O stats), pinning the determinism
+// contract inside the measurement loop; the benchmark fails outright if
+// the differential path is not strictly cheaper than re-enumeration,
+// which is the point of a standing query.
+func BenchmarkE21Subscribe(b *testing.B) {
+	edges, err := Generate("gnm:n=4000,m=32000", 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{MemoryWords: 1 << 12, BlockWords: 1 << 6, Workers: 1}
+	var d Delta
+	for i := 0; i < 160; i++ {
+		d.Remove = append(d.Remove, edges[(i*97)%len(edges)])
+		d.Add = append(d.Add, [2]uint32{uint32(i * 3 % 4000), uint32(50000 + i)})
+	}
+
+	var diffIOs, fullIOs uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, err := Build(FromEdges(edges), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub1, err := g.Subscribe(nil, Query{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub4, err := g.Subscribe(nil, Query{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := g.Update(nil, d); err != nil {
+			b.Fatal(err)
+		}
+		cs1, cs4 := <-sub1.Changes(), <-sub4.Changes()
+		b.StopTimer()
+		if !reflect.DeepEqual(cs1, cs4) {
+			b.Fatalf("ChangeSets drifted across Workers: %+v vs %+v", cs1, cs4)
+		}
+		diffIOs = cs1.Stats.IOs()
+		if fullIOs == 0 {
+			res, err := g.TrianglesFunc(nil, Query{Workers: 1}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fullIOs = res.Stats.IOs()
+		}
+		g.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(diffIOs), "diffIOs")
+	b.ReportMetric(float64(fullIOs), "fullIOs")
+	if diffIOs >= fullIOs {
+		b.Fatalf("differential pass cost %d IOs >= full re-enumeration %d IOs", diffIOs, fullIOs)
 	}
 }
 

@@ -16,6 +16,7 @@
 //	DELETE /v1/graphs/{id}              close and unload
 //	POST   /v1/graphs/{id}/query       stream results as NDJSON
 //	POST   /v1/graphs/{id}/update      apply a batched delta
+//	POST   /v1/graphs/{id}/subscriptions  standing query: long-lived change stream
 //	POST   /v1/graphs/{id}/checkpoint  promote the durable image
 //	GET    /v1/stats                    per-tenant budgets and usage
 //
@@ -23,9 +24,12 @@
 // wire: the NDJSON lines are byte-identical to the in-process callback
 // query at every worker count, a limit-stopped stream returns an opaque
 // cursor, and resuming with it emits exactly the uncursored stream's
-// suffix. Tenants (the X-Tenant header) are admission-controlled
-// budgets of concurrent sessions and session M-words; exhausted budgets
-// get 429.
+// suffix. Subscription streams carry one generation-stamped ChangeSet
+// line per effective update — exactly the tuples the update added and
+// retracted, computed differentially — and reconnect exactly via
+// after_generation. Tenants (the X-Tenant header) are
+// admission-controlled budgets of concurrent sessions and session
+// M-words; exhausted budgets get 429.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the listener
 // closes, in-flight query streams drain to their trailers (bounded by

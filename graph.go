@@ -104,6 +104,13 @@ type Graph struct {
 	// advanced by Checkpoint and the Close promotion. Guarded by mu.
 	persistedGen uint64
 
+	// subs are the live standing queries (see Subscribe), keyed by their
+	// registration sequence number. Guarded by mu; the install path of an
+	// update snapshots them in the same critical section that swaps cur,
+	// which is what makes registration atomic against updates.
+	subs   map[uint64]*Subscription
+	subSeq uint64
+
 	// updateMu serializes Update calls; queries never take it. The
 	// write-ahead log below is touched only under it (and by Close, after
 	// the drain has excluded every update).
@@ -431,6 +438,15 @@ func (g *Graph) Close() error {
 	}
 	var err error
 	if first {
+		// End every live subscription with ErrGraphClosed. The drain above
+		// excluded in-flight updates, so no delivery races this; queued
+		// ChangeSets stay deliverable (drop=false) — consumers drain the
+		// tail of the stream and then see the channel close.
+		subs := g.subs
+		g.subs = nil
+		for _, s := range subs {
+			s.finish(ErrGraphClosed, false)
+		}
 		var promoteErr, walErr error
 		if g.opts.DiskPath != "" {
 			walObsolete := true

@@ -71,6 +71,12 @@ type Merged struct {
 	// Added and Removed count the effective edge changes: edges that were
 	// absent and are now present, and vice versa.
 	Added, Removed int64
+	// AddedEdges and RemovedEdges are the effective changes themselves,
+	// packed in original-id space and sorted (the merge scan visits edges
+	// in sorted order). They are native O(delta)-word slices collected for
+	// differential consumers at no extra I/O; their lengths equal Added
+	// and Removed.
+	AddedEdges, RemovedEdges []extmem.Word
 }
 
 // SortErrFunc sorts single-word records by Identity key, reporting a
@@ -131,10 +137,12 @@ func MergeDelta(ctx context.Context, sp *extmem.Space, old GenView, adds, remove
 		}
 		if present && !inE {
 			out.Added++
+			out.AddedEdges = append(out.AddedEdges, v)
 			ddelta[U(v)]++
 			ddelta[V(v)]++
 		} else if !present && inE {
 			out.Removed++
+			out.RemovedEdges = append(out.RemovedEdges, v)
 			ddelta[U(v)]--
 			ddelta[V(v)]--
 		}

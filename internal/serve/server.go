@@ -127,6 +127,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphInfo)
 	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleUnload)
 	mux.HandleFunc("POST /v1/graphs/{id}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/graphs/{id}/subscriptions", s.handleSubscribe)
 	mux.HandleFunc("POST /v1/graphs/{id}/update", s.handleUpdate)
 	mux.HandleFunc("POST /v1/graphs/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro"
+)
+
+// handleSubscribe opens a long-lived NDJSON change stream: the request
+// registers a standing query on the graph and the connection carries
+// one WireChange line per effective update until either side ends it.
+// The connection is the backpressure — a slow client stalls only its
+// own deliveries (they queue inside the subscription), never the
+// updates producing them — and the subscription charges the tenant's
+// session budget for as long as the stream lives, exactly like a query
+// session. Generation numbers are stamped on every line so a client
+// that reconnects with AfterGeneration resumes exactly or learns (409)
+// that it must re-baseline.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(r.PathValue("id"))
+	if e == nil {
+		writeError(w, http.StatusNotFound, "graph %q not loaded", r.PathValue("id"))
+		return
+	}
+	var req SubscribeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad subscribe request: %v", err)
+		return
+	}
+	kind := req.Kind
+	if kind == "" {
+		kind = "triangles"
+	}
+	var pattern *repro.Pattern
+	switch kind {
+	case "triangles":
+		if req.K != 0 || req.Pattern != "" {
+			writeError(w, http.StatusBadRequest, "k and pattern do not apply to a triangles subscription")
+			return
+		}
+	case "cliques":
+		if req.K < 3 {
+			writeError(w, http.StatusBadRequest, "cliques subscription needs k >= 3, got %d", req.K)
+			return
+		}
+		if req.Pattern != "" {
+			writeError(w, http.StatusBadRequest, "pattern does not apply to a cliques subscription")
+			return
+		}
+	case "match":
+		if req.Pattern == "" {
+			writeError(w, http.StatusBadRequest, "match subscription needs a pattern name")
+			return
+		}
+		if req.K != 0 {
+			writeError(w, http.StatusBadRequest, "k does not apply to a match subscription")
+			return
+		}
+		p, err := repro.ParsePattern(req.Pattern)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		pattern = p
+	default:
+		writeError(w, http.StatusBadRequest, "unknown subscription kind %q (have triangles, cliques, match)", kind)
+		return
+	}
+
+	tenant := tenantOf(r)
+	release, err := s.adm.acquire(tenant, int64(e.g.Options().MemoryWords))
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	defer release()
+
+	// Register the standing query. The request context is the
+	// subscription's lifetime: a client disconnect cancels it, which ends
+	// the subscription and this stream.
+	q := repro.Query{Workers: req.Workers}
+	var sub *repro.Subscription
+	switch kind {
+	case "triangles":
+		sub, err = e.g.Subscribe(r.Context(), q)
+	case "cliques":
+		sub, err = e.g.SubscribeCliques(r.Context(), req.K, q)
+	case "match":
+		sub, err = e.g.SubscribeMatch(r.Context(), pattern, q)
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, repro.ErrGraphClosed) {
+			status = http.StatusGone
+		}
+		writeError(w, status, "subscribe %q: %v", e.id, err)
+		return
+	}
+	defer sub.Close()
+
+	// Reconnect handshake: registration is atomic against updates, so
+	// sub.Generation() is exactly where this stream begins. If the client
+	// already integrated a different generation, the gap (or overlap) is
+	// unservable — changes for it were never retained — and the client
+	// must re-baseline with a full query.
+	if req.AfterGeneration != nil && *req.AfterGeneration != sub.Generation() {
+		writeError(w, http.StatusConflict,
+			"subscription resumes at generation %d but the client integrated %d; re-baseline with a full query",
+			sub.Generation(), *req.AfterGeneration)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Graph-Generation", strconv.FormatUint(sub.Generation(), 10))
+	bw := bufio.NewWriter(w)
+	flusher, _ := w.(http.Flusher)
+	var bytesOut uint64
+	var writeErr error
+	writeLine := func(v any) {
+		if writeErr != nil {
+			return
+		}
+		line, err := json.Marshal(v)
+		if err != nil {
+			writeErr = err
+			return
+		}
+		n, err := bw.Write(append(line, '\n'))
+		bytesOut += uint64(n)
+		if err != nil {
+			writeErr = err
+			return
+		}
+		// A live stream flushes every line: a change the client cannot
+		// see yet is a change that did not happen for it.
+		if err := bw.Flush(); err != nil {
+			writeErr = err
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	writeLine(WireSubscribed{Subscribed: true, Generation: sub.Generation()})
+
+	var delivered, reads, writes uint64
+	lastGen := sub.Generation()
+	for cs := range sub.Changes() {
+		writeLine(ToWireChange(cs))
+		delivered++
+		lastGen = cs.Generation
+		reads += cs.Stats.BlockReads
+		writes += cs.Stats.BlockWrites
+		// The client went away: stop draining and let the deferred Close
+		// unregister the standing query.
+		if writeErr != nil {
+			break
+		}
+	}
+
+	subErr := sub.Err()
+	end := WireSubEnd{
+		Done:       subErr == nil || errors.Is(subErr, repro.ErrGraphClosed) || errors.Is(subErr, context.Canceled),
+		Generation: lastGen,
+		Delivered:  delivered,
+	}
+	if subErr != nil {
+		end.Error = fmt.Sprintf("subscription ended: %v", subErr)
+	}
+	writeLine(end)
+	s.adm.recordQuery(tenant, delivered, reads, writes, bytesOut)
+}

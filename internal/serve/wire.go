@@ -216,6 +216,93 @@ func ToWireResult(r repro.Result) WireResult {
 	}
 }
 
+// SubscribeRequest is the body of POST /v1/graphs/{id}/subscriptions:
+// register a standing query and hold the connection open as its change
+// stream. The response is NDJSON: one WireSubscribed hello line, then
+// one WireChange line per effective update (flushed immediately — this
+// is a live stream), then one WireSubEnd line when the subscription
+// ends. The connection is the subscription's lifetime: closing it (or
+// cancelling the request) unregisters the standing query.
+type SubscribeRequest struct {
+	// Kind selects the family: "triangles" (default), "cliques", or
+	// "match" — the same families as a query, differentially enumerated.
+	Kind string `json:"kind,omitempty"`
+	// K is the clique size for Kind "cliques" (k >= 3).
+	K int `json:"k,omitempty"`
+	// Pattern is the named pattern for Kind "match".
+	Pattern string `json:"pattern,omitempty"`
+	// Workers bounds the differential kernel's parallelism; the change
+	// stream and its statistics are identical at every value.
+	Workers int `json:"workers,omitempty"`
+	// AfterGeneration, when set, is the reconnect handshake: the last
+	// generation this client has already integrated (the Generation of
+	// the last WireChange or WireSubEnd it processed). The subscription
+	// must begin exactly there — if the graph has moved past it (updates
+	// applied while the client was away), the request fails with 409 and
+	// the client must re-baseline with a fresh full query. When unset,
+	// the stream simply starts at the current generation.
+	AfterGeneration *uint64 `json:"after_generation,omitempty"`
+}
+
+// WireSubscribed is the hello line of a subscription stream: the
+// registration generation. Every subsequent change carries consecutive
+// generation numbers starting one past it.
+type WireSubscribed struct {
+	Subscribed bool   `json:"subscribed"`
+	Generation uint64 `json:"generation"`
+}
+
+// WireChange is one repro.ChangeSet on the wire: the matches one
+// effective update created and destroyed, in the deterministic
+// lexicographic order the library delivers, with the differential
+// enumeration cost. Like every wire body its bytes are invariant in
+// workers and backend.
+type WireChange struct {
+	Generation uint64      `json:"generation"`
+	Added      [][]uint32  `json:"added"`
+	Removed    [][]uint32  `json:"removed"`
+	Vertices   int         `json:"vertices"`
+	Edges      int64       `json:"edges"`
+	Stats      WireIOStats `json:"stats"`
+}
+
+// ToWireChange converts a delivered ChangeSet to its wire form —
+// exported so tests and clients can assert the stream equals the
+// in-process subscription bit for bit. Added/Removed are never null on
+// the wire ([] when empty).
+func ToWireChange(cs repro.ChangeSet) WireChange {
+	added, removed := cs.Added, cs.Removed
+	if added == nil {
+		added = [][]uint32{}
+	}
+	if removed == nil {
+		removed = [][]uint32{}
+	}
+	return WireChange{
+		Generation: cs.Generation,
+		Added:      added,
+		Removed:    removed,
+		Vertices:   cs.Vertices,
+		Edges:      cs.Edges,
+		Stats:      toWireStats(cs.Stats),
+	}
+}
+
+// WireSubEnd is the final line of a subscription stream.
+type WireSubEnd struct {
+	// Done is true for an orderly ending (graph closed or unloaded,
+	// stream cancelled); false when the differential kernel failed.
+	Done bool `json:"done"`
+	// Generation is the last generation delivered on this stream (the
+	// registration generation when nothing was) — the value to hand back
+	// as AfterGeneration to resume exactly.
+	Generation uint64 `json:"generation"`
+	// Delivered counts the WireChange lines streamed.
+	Delivered uint64 `json:"delivered"`
+	// Error reports why the subscription ended, empty for a plain close.
+	Error string `json:"error,omitempty"`
+}
+
 // UpdateRequest is the body of POST /v1/graphs/{id}/update: a batched
 // repro.Delta. The updated edge set is (E \ Remove) ∪ Add; no-op
 // changes are ignored.

@@ -187,6 +187,98 @@ func (p *Pattern) searchOrder() (order []int, back []uint8) {
 	return order, back
 }
 
+// DistFrom returns the BFS distance of every pattern position from the
+// position pair {i, j} (0 for i and j themselves). Patterns are
+// connected, so every position has a finite distance.
+func (p *Pattern) DistFrom(i, j int) []int {
+	dist := make([]int, p.k)
+	for v := range dist {
+		dist[v] = -1
+	}
+	dist[i] = 0
+	queue := []int{i}
+	if j != i {
+		dist[j] = 0
+		queue = append(queue, j)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for w := 0; w < p.k; w++ {
+			if p.adj[v]&(1<<uint(w)) != 0 && dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// AnchoredOrder returns a connected search order that starts with the
+// pre-placed positions i then j and continues in BFS order from the
+// pair (nearer positions first, ties broken by position index), plus
+// for each later position the bitmask of its H-neighbors already
+// placed. Because positions are placed in nondecreasing DistFrom(i, j)
+// order, every back-edge check pairs a new candidate against a placed
+// vertex at most as far from the anchor — the property the
+// differential kernel's bounded-closure plan relies on.
+func (p *Pattern) AnchoredOrder(i, j int) (order []int, back []uint8) {
+	dist := p.DistFrom(i, j)
+	order = make([]int, 0, p.k)
+	back = make([]uint8, p.k)
+	order = append(order, i, j)
+	placed := uint8(1<<uint(i) | 1<<uint(j))
+	for len(order) < p.k {
+		best := -1
+		for v := 0; v < p.k; v++ {
+			if placed&(1<<uint(v)) != 0 || p.adj[v]&placed == 0 {
+				continue
+			}
+			if best < 0 || dist[v] < dist[best] {
+				best = v
+			}
+		}
+		back[len(order)] = p.adj[best] & placed
+		order = append(order, best)
+		placed |= 1 << uint(best)
+	}
+	return order, back
+}
+
+// IsMinimalEmbedding reports whether assign is the representative its
+// Aut(H) orbit emits: the position-to-vertex tuple lexicographically
+// minimal among all automorphic reshuffles — the same test the
+// enumerator applies before emitting.
+func (p *Pattern) IsMinimalEmbedding(assign []uint32) bool {
+	return p.isCanonicalEmbedding(assign)
+}
+
+// Minimize rewrites assign in place to the lexicographically minimal
+// tuple among its Aut(H) images — the representative
+// IsMinimalEmbedding admits. Embeddings of one vertex set that differ
+// only by an automorphism normalize to identical tuples, which lets
+// emission streams produced against different canonical rank orders
+// (two MVCC generations, say) be compared in the caller's id space.
+func (p *Pattern) Minimize(assign []uint32) {
+	best := make([]uint32, p.k)
+	copy(best, assign)
+	tmp := make([]uint32, p.k)
+	for _, sigma := range p.auts {
+		for i := 0; i < p.k; i++ {
+			tmp[i] = assign[sigma[i]]
+		}
+		for i := 0; i < p.k; i++ {
+			if tmp[i] != best[i] {
+				if tmp[i] < best[i] {
+					copy(best, tmp)
+				}
+				break
+			}
+		}
+	}
+	copy(assign, best)
+}
+
 // Enumerate finds every copy of the pattern in g: each set of k vertices
 // carrying an H-isomorphic (not necessarily induced) subgraph is reported
 // exactly once per distinct embedding modulo Aut(H). The emitted slice

@@ -88,5 +88,14 @@ func (p *Pattern) Edges() [][2]int { return p.p.Edges() }
 // embeddings by.
 func (p *Pattern) Automorphisms() int { return p.p.Automorphisms() }
 
+// Normalize rewrites the embedding (len K, position i -> vertex
+// assign[i]) in place to the lexicographically least assignment in its
+// Aut(H) orbit. Match emits one representative per orbit, but which one
+// depends on the internal vertex order of the generation it ran on;
+// Normalize maps any representative to a canonical one, making
+// embeddings comparable across queries and generations — ChangeSets of
+// SubscribeMatch subscriptions are already normalized this way.
+func (p *Pattern) Normalize(assign []uint32) { p.p.Minimize(assign) }
+
 // String returns the pattern's name.
 func (p *Pattern) String() string { return p.p.Name() }

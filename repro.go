@@ -119,6 +119,37 @@
 // byte-identical whether Workers is 1 or NumCPU. emit is always invoked
 // from the calling goroutine, never concurrently.
 //
+// # Standing queries
+//
+// Subscribe registers a standing query on an updatable handle: after
+// every effective Update (and after each WAL replay merge during Open),
+// the subscription delivers a ChangeSet holding exactly the triangles —
+// or k-cliques (SubscribeCliques) or pattern matches (SubscribeMatch) —
+// the new generation added and retracted relative to the one it
+// supersedes:
+//
+//	sub, err := g.Subscribe(ctx, repro.Query{})
+//	defer sub.Close()
+//	for cs := range sub.Changes() {
+//		// cs.Added, cs.Removed, cs.Stats — the exact diff for cs.Generation
+//	}
+//
+// ChangeSets are computed differentially (package internal/diff): a
+// delta-restricted trie join scans the closure of the delta's endpoints
+// against both frozen images instead of re-enumerating either, in I/Os
+// proportional to the delta's neighborhood rather than the graph
+// (BenchmarkE21Subscribe measures the gap). The stream is deterministic
+// the same way queries are: the accumulated ChangeSets equal the diff
+// of fresh enumerations of consecutive generations — tuples sorted,
+// pattern matches in minimal-embedding form — and both the emissions
+// and ChangeSet.Stats are byte-identical at every Workers value,
+// memory- or disk-backed. Registration is atomic against updates
+// (a subscription observes a generation's installation entirely or not
+// at all), delivery never blocks Update (a slow consumer queues), and
+// Close on the graph drains queued ChangeSets before ending the stream
+// with ErrGraphClosed. The daemon exposes the same stream as NDJSON
+// (POST /v1/graphs/{id}/subscriptions, see docs/API.md).
+//
 // # Beyond the library
 //
 // cmd/trienum is the command-line front end, and cmd/trienumd serves

@@ -238,12 +238,20 @@ func (g *Graph) applyPacked(ctx context.Context, adds, removes []extmem.Word, du
 	}
 
 	// Atomic install: new queries pin the new generation; the old one is
-	// released when its last in-flight reader drains.
+	// released when its last in-flight reader drains. Standing queries are
+	// snapshotted in the same critical section, so a subscription observes
+	// this transition exactly when it registered before the swap.
 	g.mu.Lock()
 	g.cur = ng
+	subs := g.snapshotSubsLocked()
 	rel := g.unpinLocked(old) // the current pointer's reference moves to ng
 	g.mu.Unlock()
 	g.releaseDetached(rel)
+
+	// Differential deliveries run inside the update (old is pinned until
+	// this function returns), anchored on the effective edges the merge
+	// scan collected.
+	g.deliverDiff(subs, old, ng, m.AddedEdges, m.RemovedEdges)
 
 	return UpdateResult{
 		Generation: ng.gen,
