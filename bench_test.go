@@ -14,6 +14,7 @@ import (
 	"slices"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/emsort"
 	"repro/internal/expt"
@@ -702,4 +703,113 @@ func BenchmarkEnumeratePublicAPI(b *testing.B) {
 			b.ReportMetric(float64(ios), "IOs")
 		})
 	}
+}
+
+// BenchmarkE22Native — the native execution mode (PR 9) against the
+// simulated machine it mirrors: the same query runs both ways each
+// iteration, the transcripts are asserted byte-identical, and the two
+// wall-clock totals are timed separately (reported as simNs/op and
+// natNs/op, plus their ratio as the speedup metric). Native must be
+// strictly faster — it runs the identical decomposition minus the
+// block-transfer bookkeeping — even single-threaded on one core; the
+// multi-core speedups are documented in EXPERIMENTS.md §E22. Instances
+// reuse the E13/E16 powerlaw graph, the E17 gnm graph, and the E15 sort
+// substrate, so the native numbers line up with the simulated baselines
+// of those experiments.
+func BenchmarkE22Native(b *testing.B) {
+	instances := []struct {
+		name  string
+		spec  string
+		seed  uint64
+		qseed uint64
+	}{
+		{"E13/powerlaw", "powerlaw:n=12000,m=64000,beta=2.1", 13, 3},
+		{"E16/powerlaw", "powerlaw:n=12000,m=64000,beta=2.1", 23, 7},
+		{"E17/gnm", "gnm:n=3000,m=18000", 29, 5},
+	}
+	for _, inst := range instances {
+		edges, err := Generate(inst.spec, inst.seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := Build(FromEdges(edges), Options{MemoryWords: 1 << 12, BlockWords: 1 << 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range benchWorkerCounts(1, runtime.NumCPU()) {
+			b.Run(fmt.Sprintf("%s/workers=%d", inst.name, w), func(b *testing.B) {
+				var simT, natT time.Duration
+				var sim, nat []uint32
+				run := func(mode ExecMode, buf []uint32) ([]uint32, time.Duration, error) {
+					buf = buf[:0]
+					start := time.Now()
+					_, err := g.TrianglesFunc(nil, Query{Seed: inst.qseed, Workers: w, Mode: mode}, func(x, y, z uint32) {
+						buf = append(buf, x, y, z)
+					})
+					return buf, time.Since(start), err
+				}
+				for i := 0; i < b.N; i++ {
+					var dSim, dNat time.Duration
+					if sim, dSim, err = run(ModeSimulated, sim); err != nil {
+						b.Fatal(err)
+					}
+					if nat, dNat, err = run(ModeNative, nat); err != nil {
+						b.Fatal(err)
+					}
+					if !slices.Equal(sim, nat) {
+						b.Fatalf("iteration %d: native emission differs from simulated (%d vs %d vertices)", i, len(nat), len(sim))
+					}
+					simT += dSim
+					natT += dNat
+				}
+				b.ReportMetric(float64(simT.Nanoseconds())/float64(b.N), "simNs/op")
+				b.ReportMetric(float64(natT.Nanoseconds())/float64(b.N), "natNs/op")
+				b.ReportMetric(float64(simT)/float64(natT), "speedup")
+				if natT >= simT {
+					b.Fatalf("native execution not faster: native %v >= simulated %v over %d iterations", natT, simT, b.N)
+				}
+			})
+		}
+		g.Close()
+	}
+
+	// The E15 substrate: the parallel funnel sort over the same 1<<15
+	// random words, simulated vs native Space, sorted output asserted
+	// word-identical each iteration.
+	b.Run("E15/funnel-sort", func(b *testing.B) {
+		n := int64(1 << 15)
+		var simT, natT time.Duration
+		sortOnce := func(native bool, seed uint64) ([]extmem.Word, time.Duration) {
+			cfg := extmem.Config{M: 1 << 12, B: 1 << 6, Native: native}
+			sp := extmem.NewSpace(cfg)
+			ext := sp.Alloc(n)
+			rng := hashing.NewRand(seed)
+			for j := int64(0); j < n; j++ {
+				ext.Write(j, rng.Next())
+			}
+			sp.DropCache()
+			start := time.Now()
+			emsort.ParallelFunnelSortRecords(ext, 1, emsort.Identity, 1)
+			d := time.Since(start)
+			out := sp.Snapshot(ext)
+			sp.Close()
+			return out, d
+		}
+		for i := 0; i < b.N; i++ {
+			seed := uint64(i) + 1
+			sim, dSim := sortOnce(false, seed)
+			nat, dNat := sortOnce(true, seed)
+			if !slices.Equal(sim, nat) {
+				b.Fatalf("iteration %d: native sort output differs", i)
+			}
+			simT += dSim
+			natT += dNat
+		}
+		b.ReportMetric(float64(simT.Nanoseconds())/float64(b.N), "simNs/op")
+		b.ReportMetric(float64(natT.Nanoseconds())/float64(b.N), "natNs/op")
+		b.ReportMetric(float64(simT)/float64(natT), "speedup")
+		if natT >= simT {
+			b.Fatalf("native sort not faster: native %v >= simulated %v over %d iterations", natT, simT, b.N)
+		}
+	})
 }

@@ -47,6 +47,12 @@
 //
 // -timeout arms a context deadline: queries stop cooperatively (between
 // subproblems), report the partial counts, and exit non-zero.
+//
+// -native runs every query natively on the canonical image (the fast
+// path, repro.ModeNative): same decomposition, same results in the same
+// order, but the simulated block-transfer accounting is compiled out —
+// the IOs columns print 0. Use it to time the algorithms; drop it to
+// measure them.
 package main
 
 import (
@@ -78,6 +84,7 @@ func main() {
 		timeout = flag.Duration("timeout", time.Duration(0), "cancel queries cooperatively after this duration (0 = none)")
 		update  = flag.String("update", "", `apply an edge delta before querying: comma-separated "+u-v" adds and "-u-v" removes`)
 		open    = flag.String("open", "", "adopt an existing canonical image instead of building (see repro.Open)")
+		native  = flag.Bool("native", false, "run queries natively on the canonical image: same results, no simulated I/O accounting (IOs print as 0)")
 	)
 	flag.Parse()
 
@@ -155,8 +162,13 @@ func main() {
 		algos = append(algos, a)
 	}
 
+	mode := repro.ModeAuto
+	if *native {
+		mode = repro.ModeNative
+	}
+
 	for _, a := range algos {
-		q := repro.Query{Algorithm: a, Seed: *seed}
+		q := repro.Query{Algorithm: a, Seed: *seed, Mode: mode}
 		var emit func(x, y, z uint32)
 		if *list {
 			emit = func(x, y, z uint32) { fmt.Printf("%d %d %d\n", x, y, z) }
@@ -177,7 +189,7 @@ func main() {
 
 	if *kFlag > 0 {
 		emit := listEmit(*list)
-		res, err := g.CliquesFunc(ctx, *kFlag, repro.Query{Seed: *seed}, emit)
+		res, err := g.CliquesFunc(ctx, *kFlag, repro.Query{Seed: *seed, Mode: mode}, emit)
 		if err != nil {
 			fatal(fmt.Errorf("k=%d after %d cliques: %w", *kFlag, res.Matches, err))
 		}
@@ -192,7 +204,7 @@ func main() {
 			fatal(err)
 		}
 		emit := listEmit(*list)
-		res, err := g.MatchFunc(ctx, p, repro.Query{Seed: *seed}, emit)
+		res, err := g.MatchFunc(ctx, p, repro.Query{Seed: *seed, Mode: mode}, emit)
 		if err != nil {
 			fatal(fmt.Errorf("pattern %s after %d embeddings: %w", p, res.Matches, err))
 		}

@@ -7,6 +7,7 @@
 //	trienumd -addr :7154
 //	trienumd -addr :7154 -open social=social.img -build toy=gnm:n=1000,m=8000
 //	trienumd -addr :7154 -max-tenant-sessions 4 -max-tenant-mwords 262144
+//	trienumd -addr :7154 -pprof localhost:6060
 //
 // Endpoints (docs/API.md specifies the wire contract in full):
 //
@@ -31,6 +32,10 @@
 // admission-controlled budgets of concurrent sessions and session
 // M-words; exhausted budgets get 429.
 //
+// -pprof serves the standard net/http/pprof profiling endpoints on a
+// separate listener (off by default; keep it on localhost — it is
+// unauthenticated). The service address never exposes the profiler.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the listener
 // closes, in-flight query streams drain to their trailers (bounded by
 // -shutdown-timeout), and every graph handle is closed — disk-backed
@@ -45,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -71,6 +77,7 @@ func main() {
 		b           = flag.Int("b", 0, "BlockWords for graphs loaded via -open/-build (0 = library default)")
 		workers     = flag.Int("workers", 0, "default Workers for loaded graphs (0 = one per CPU)")
 		shutdownT   = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining active streams on shutdown")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address, e.g. localhost:6060 (off when empty)")
 		opens       multiFlag
 		builds      multiFlag
 	)
@@ -87,6 +94,26 @@ func main() {
 	if err := bootLoad(srv, opens, builds, opts); err != nil {
 		srv.Close()
 		log.Fatal(err)
+	}
+
+	// The profiler gets its own listener and mux so it is never exposed
+	// on the service address: opt in with -pprof, point it at localhost,
+	// and the query endpoints stay unprofiled and unpolluted.
+	var ps *http.Server
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps = &http.Server{Addr: *pprofAddr, Handler: pmux}
+		go func() {
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		log.Printf("pprof listening on %s", *pprofAddr)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -114,6 +141,9 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v (closing anyway)", err)
 		hs.Close()
+	}
+	if ps != nil {
+		ps.Close()
 	}
 	if err := srv.Close(); err != nil {
 		log.Fatalf("closing graphs: %v", err)

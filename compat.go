@@ -18,12 +18,13 @@ package repro
 // a < b < c. A nil emit counts only.
 func Enumerate(edges [][2]uint32, cfg Config, emit func(a, b, c uint32)) (Result, error) {
 	cfg = cfg.withDefaults()
-	parallelAlgo := cfg.Algorithm == CacheAware || cfg.Algorithm == Deterministic
+	parallelAlgo := cfg.Algorithm == CacheAware || cfg.Algorithm == CacheOblivious || cfg.Algorithm == Deterministic
 	g, err := Build(FromEdges(edges), Options{
 		MemoryWords:     cfg.MemoryWords,
 		BlockWords:      cfg.BlockWords,
 		Workers:         cfg.Workers,
 		DiskPath:        cfg.DiskPath,
+		Native:          cfg.Native,
 		SequentialCanon: !parallelAlgo,
 	})
 	if err != nil {

@@ -29,7 +29,7 @@ func TestEnumerateShimEquivalence(t *testing.T) {
 				t.Fatalf("%v/workers=%d: Enumerate: %v", alg, workers, err)
 			}
 
-			parallelAlgo := alg == CacheAware || alg == Deterministic
+			parallelAlgo := alg == CacheAware || alg == CacheOblivious || alg == Deterministic
 			g, err := Build(FromEdges(edges), Options{
 				MemoryWords:     cfg.MemoryWords,
 				BlockWords:      cfg.BlockWords,
@@ -96,6 +96,12 @@ func TestCountMatchesEnumerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Individual WorkerStats entries are scheduling-dependent (visible
+	// under -cpu > 1); compare their scheduling-invariant aggregate.
+	if x, y := sumWorkerStats(a), sumWorkerStats(b); x != y {
+		t.Errorf("summed WorkerStats differ: Count %+v, Enumerate %+v", x, y)
+	}
+	a.WorkerStats, b.WorkerStats = nil, nil
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("Count %+v differs from Enumerate %+v", a, b)
 	}

@@ -293,7 +293,9 @@ type session struct {
 // acquire opens a new session against the handle's current generation,
 // failing with ErrGraphClosed after Close. The session pins its
 // generation: updates installed while the query runs do not affect it.
-func (g *Graph) acquire() (*session, error) {
+// A native session runs directly on the generation's words (no
+// simulated cache, no scratch spill file) and reports zero Stats.
+func (g *Graph) acquire(native bool) (*session, error) {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -304,12 +306,12 @@ func (g *Graph) acquire() (*session, error) {
 	g.active++
 	g.seq++
 	scratch := ""
-	if g.opts.DiskPath != "" {
+	if g.opts.DiskPath != "" && !native {
 		scratch = fmt.Sprintf("%s.q%d", g.opts.DiskPath, g.seq)
 	}
 	g.mu.Unlock()
 
-	cfg := extmem.Config{M: g.opts.MemoryWords, B: g.opts.BlockWords}
+	cfg := extmem.Config{M: g.opts.MemoryWords, B: g.opts.BlockWords, Native: native}
 	sp, err := extmem.NewSessionSpace(cfg, gen.core, gen.coreWords, scratch)
 	if err != nil {
 		g.mu.Lock()

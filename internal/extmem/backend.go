@@ -155,6 +155,12 @@ func (tb *tempFileBackend) Close() error {
 type FileCore struct {
 	f    *os.File
 	bufs sync.Pool // transfer buffers; pooled because sessions read concurrently
+
+	// Native sessions view the image as one contiguous slice; it is
+	// decoded lazily on the first NativeWords call and shared (read-only)
+	// by every native session of the handle afterwards.
+	natMu sync.Mutex
+	nat   []Word
 }
 
 // NewFileCore opens the file read-only as a Core.
@@ -176,6 +182,32 @@ func (fc *FileCore) ReadCoreBlock(blk int64, dst []Word) error {
 	defer fc.bufs.Put(buf)
 	n, err := fc.f.ReadAt(buf, blk*int64(want))
 	return decodeBlock(buf, n, err, dst)
+}
+
+// NativeWords implements NativeCore: it decodes the first n words of the
+// image into process memory once (an mmap-style read-only view, loaded
+// eagerly) and serves every later native session from the same slice.
+// Words past EOF read as zero, exactly as ReadCoreBlock pads them.
+func (fc *FileCore) NativeWords(n int64) ([]Word, error) {
+	fc.natMu.Lock()
+	defer fc.natMu.Unlock()
+	if int64(len(fc.nat)) >= n {
+		return fc.nat[:n], nil
+	}
+	buf := make([]byte, n*8)
+	rn, err := fc.f.ReadAt(buf, 0)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	for i := rn; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	words := make([]Word, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	fc.nat = words
+	return words, nil
 }
 
 // Close closes the backing file. The owner of the core (the graph handle)

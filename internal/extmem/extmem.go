@@ -57,6 +57,14 @@ type Config struct {
 	B int
 	// AllowShortCache disables the tall-cache check (useful in tests).
 	AllowShortCache bool
+	// Native selects the native fast path: every word access is a direct
+	// slice access with no block cache and no I/O accounting. M, B, and
+	// the Lease bookkeeping keep their exact simulated semantics — the
+	// values algorithms size their decompositions from are unchanged, so
+	// the emission order is byte-identical to the simulated machine — but
+	// Stats reports zero and writes below a session's core watermark
+	// panic immediately instead of at write-back time.
+	Native bool
 }
 
 const noFrame = int32(-1)
@@ -90,6 +98,15 @@ type Space struct {
 	lastFrame int32
 	virgin    map[int64]struct{} // blocks never materialized: first write skips the fetch
 	closed    bool
+	// Native-mode storage (Config.Native): no frames, no table, no
+	// accounting. Addresses [0, natBase) read from the immutable natCore
+	// slice; [natBase, size) live in natScratch. The Lease counter above
+	// keeps its simulated bookkeeping so cache-aware algorithms compute
+	// identical decompositions, but nothing is evicted or counted.
+	native     bool
+	natCore    []Word
+	natBase    int64
+	natScratch []Word
 }
 
 // NewSpace creates a Space backed by process memory.
@@ -125,6 +142,19 @@ func newSpace(cfg Config, be Backend) (*Space, error) {
 	for 1<<logB != cfg.B {
 		logB++
 	}
+	if cfg.Native {
+		// No cache machinery at all: the validation above keeps the
+		// machine description honest (algorithms still consult M and B),
+		// but words live in plain slices and the backend is inert.
+		return &Space{
+			cfg:       cfg,
+			logB:      logB,
+			backend:   be,
+			lastBlock: -1,
+			lastFrame: noFrame,
+			native:    true,
+		}, nil
+	}
 	maxFrames := cfg.M / cfg.B
 	sp := &Space{
 		cfg:       cfg,
@@ -151,8 +181,13 @@ func newSpace(cfg Config, be Backend) (*Space, error) {
 // not consult it; it exists for cache-aware algorithms and test harnesses.
 func (s *Space) Config() Config { return s.cfg }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters. A native Space (see
+// Config.Native) reports zero: accounting is compiled out of its hot
+// path, the one documented divergence from the simulated machine.
 func (s *Space) Stats() Stats {
+	if s.native {
+		return Stats{}
+	}
 	st := s.stats
 	st.PeakAlloc = maxI64(st.PeakAlloc, s.size)
 	return st
@@ -166,6 +201,9 @@ func (s *Space) ResetStats() { s.stats = Stats{} }
 // next measurements start cold. The write-backs are NOT counted (they are
 // charged to whatever computation dirtied them before the reset).
 func (s *Space) DropCache() {
+	if s.native {
+		return // no cache to drop
+	}
 	for b, f := range s.table {
 		fr := &s.frames[f]
 		if fr.dirty {
@@ -185,6 +223,9 @@ func (s *Space) DropCache() {
 // Flush writes back all dirty blocks, counting the writes. Data remains
 // cached (clean).
 func (s *Space) Flush() {
+	if s.native {
+		return // nothing cached, nothing dirty
+	}
 	for b, f := range s.table {
 		if s.frames[f].dirty {
 			s.writeBack(b, f)
@@ -223,8 +264,13 @@ func (s *Space) Lease(n int) (release func()) {
 	if s.leased > s.stats.PeakLease {
 		s.stats.PeakLease = s.leased
 	}
-	s.capFrames = (s.cfg.M - s.leased) / s.cfg.B
-	s.evictOver()
+	if !s.native {
+		// Native mode keeps the lease counter (algorithms derive their
+		// decomposition grain from M - Leased(), which must match the
+		// simulated machine exactly) but has no cache to shrink.
+		s.capFrames = (s.cfg.M - s.leased) / s.cfg.B
+		s.evictOver()
+	}
 	done := false
 	return func() {
 		if done {
@@ -232,7 +278,9 @@ func (s *Space) Lease(n int) (release func()) {
 		}
 		done = true
 		s.leased -= n
-		s.capFrames = (s.cfg.M - s.leased) / s.cfg.B
+		if !s.native {
+			s.capFrames = (s.cfg.M - s.leased) / s.cfg.B
+		}
 	}
 }
 
@@ -266,6 +314,10 @@ func (s *Space) Alloc(n int64) Extent {
 	}
 	base := (s.size + int64(s.cfg.B) - 1) &^ int64(s.cfg.B-1)
 	s.size = base + n
+	if s.native {
+		s.natGrow(s.size - s.natBase)
+		return Extent{sp: s, base: base, n: n}
+	}
 	if s.size > s.stats.PeakAlloc {
 		s.stats.PeakAlloc = s.size
 	}
@@ -291,12 +343,42 @@ func (s *Space) Alloc(n int64) Extent {
 // Mark returns the current allocation watermark.
 func (s *Space) Mark() int64 { return s.size }
 
+// natGrow extends the native scratch slice to n words. Words between the
+// old and new lengths are zeroed explicitly: after a Release truncation
+// the capacity may hold stale data, and a fresh extent must read as zero
+// exactly like a virgin simulated block.
+func (s *Space) natGrow(n int64) {
+	old := int64(len(s.natScratch))
+	if n <= old {
+		return
+	}
+	if n <= int64(cap(s.natScratch)) {
+		s.natScratch = s.natScratch[:n]
+		zero(s.natScratch[old:])
+		return
+	}
+	newCap := 2 * int64(cap(s.natScratch))
+	if newCap < n {
+		newCap = n
+	}
+	grown := make([]Word, n, newCap)
+	copy(grown, s.natScratch)
+	s.natScratch = grown
+}
+
 // Release frees all extents allocated after the given mark. Any cached
 // blocks wholly above the mark are discarded without write-back (their
 // contents are dead).
 func (s *Space) Release(mark int64) {
 	if mark > s.size || mark < 0 {
 		panic("extmem: bad release mark")
+	}
+	if s.native {
+		s.size = mark
+		if keep := mark - s.natBase; keep >= 0 && keep < int64(len(s.natScratch)) {
+			s.natScratch = s.natScratch[:keep]
+		}
+		return
 	}
 	boundary := (mark + int64(s.cfg.B) - 1) >> s.logB
 	for b, f := range s.table {
@@ -323,7 +405,14 @@ func (s *Space) Release(mark int64) {
 }
 
 // Read returns the word at address a, counting a block read on a miss.
+// On a native Space it is a direct slice access: no cache, no counters.
 func (s *Space) Read(a int64) Word {
+	if s.native {
+		if a < s.natBase {
+			return s.natCore[a]
+		}
+		return s.natScratch[a-s.natBase]
+	}
 	s.stats.WordReads++
 	b := a >> s.logB
 	if b == s.lastBlock {
@@ -337,6 +426,13 @@ func (s *Space) Read(a int64) Word {
 // allocate) unless the block has never been materialized, and a block write
 // when the dirty block is eventually evicted or flushed.
 func (s *Space) Write(a int64, v Word) {
+	if s.native {
+		if a < s.natBase {
+			panic(fmt.Sprintf("extmem: native write to read-only core address %d", a))
+		}
+		s.natScratch[a-s.natBase] = v
+		return
+	}
 	s.stats.WordWrites++
 	b := a >> s.logB
 	var f int32
@@ -467,8 +563,12 @@ func (s *Space) lruTouch(f int32) {
 }
 
 // Resident reports whether the block containing address a is currently in
-// internal memory. Used by tests and by the emit-witness checker.
+// internal memory. Used by tests and by the emit-witness checker. On a
+// native Space every word is process memory, so everything is resident.
 func (s *Space) Resident(a int64) bool {
+	if s.native {
+		return true
+	}
 	_, ok := s.table[a>>s.logB]
 	return ok
 }

@@ -39,6 +39,44 @@ func (c wordsCore) ReadCoreBlock(b int64, dst []Word) error {
 // Core.
 func WordsCore(words []Word) Core { return wordsCore(words) }
 
+// NativeCore is implemented by cores that can hand out their first n
+// words as one contiguous read-only slice — the zero-copy entry to a
+// native session (Config.Native). Cores without it are loaded block by
+// block through ReadCoreBlock instead.
+type NativeCore interface {
+	// NativeWords returns words [0, n) of the core. The slice is shared
+	// and must never be written; it stays valid for the core's lifetime.
+	NativeWords(n int64) ([]Word, error)
+}
+
+func (c wordsCore) NativeWords(n int64) ([]Word, error) {
+	if n <= int64(len(c)) {
+		return c[:n], nil
+	}
+	out := make([]Word, n) // past-the-end core words read as zero
+	copy(out, c)
+	return out, nil
+}
+
+// nativeCoreWords resolves a core to a contiguous native slice of n
+// words: zero-copy when the core supports it, a one-time block-by-block
+// load otherwise.
+func nativeCoreWords(core Core, n int64, b int) ([]Word, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if nc, ok := core.(NativeCore); ok {
+		return nc.NativeWords(n)
+	}
+	out := make([]Word, n)
+	for blk := int64(0); blk < n/int64(b); blk++ {
+		if err := core.ReadCoreBlock(blk, out[blk*int64(b):(blk+1)*int64(b)]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // sessionBackend serves the read-only core below coreBlocks and
 // everything above it from a private scratch backend, so sessions never
 // copy the shared data and cannot corrupt each other. Closing the backend
@@ -83,6 +121,23 @@ func (sb *sessionBackend) Close() error { return sb.priv.Close() }
 func NewSessionSpace(cfg Config, core Core, coreWords int64, scratchPath string) (*Space, error) {
 	if cfg.B <= 0 || coreWords%int64(cfg.B) != 0 {
 		return nil, fmt.Errorf("extmem: core of %d words is not whole blocks of B=%d", coreWords, cfg.B)
+	}
+	if cfg.Native {
+		// Native sessions address the core as one read-only slice and keep
+		// scratch in process memory regardless of scratchPath — there is
+		// no block traffic to spill, so a scratch file would only cost.
+		words, err := nativeCoreWords(core, coreWords, cfg.B)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := newSpace(cfg, newMemBackend())
+		if err != nil {
+			return nil, err
+		}
+		sp.natCore = words
+		sp.natBase = coreWords
+		sp.size = coreWords
+		return sp, nil
 	}
 	var priv Backend
 	if scratchPath != "" {

@@ -36,6 +36,30 @@ func (s *Space) Snapshot(ext Extent) []Word {
 	first := ext.base >> s.logB
 	last := (ext.base + ext.n - 1) >> s.logB
 	out := make([]Word, (last-first+1)<<s.logB)
+	if s.native {
+		// Straight word copy from the native address space; the tail of
+		// the last block past the allocation watermark reads as zero.
+		start := first << s.logB
+		end := (last + 1) << s.logB
+		if end > s.size {
+			end = s.size
+		}
+		if start < s.natBase {
+			hi := end
+			if hi > s.natBase {
+				hi = s.natBase
+			}
+			copy(out, s.natCore[start:hi])
+		}
+		if end > s.natBase {
+			lo := start
+			if lo < s.natBase {
+				lo = s.natBase
+			}
+			copy(out[lo-start:], s.natScratch[lo-s.natBase:end-s.natBase])
+		}
+		return out
+	}
 	for b := first; b <= last; b++ {
 		dst := out[(b-first)<<s.logB : (b-first+1)<<s.logB]
 		if f, ok := s.table[b]; ok {

@@ -35,6 +35,7 @@ type cursor struct {
 	Pattern   string `json:"p,omitempty"` // pattern name (kind "match")
 	Algorithm string `json:"a,omitempty"` // algorithm name (kind "triangles")
 	Seed      uint64 `json:"s,omitempty"` // decomposition seed
+	Native    bool   `json:"x,omitempty"` // native execution mode
 	Pos       uint64 `json:"o"`           // emissions already delivered
 }
 

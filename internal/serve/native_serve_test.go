@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro"
+)
+
+// TestNativeQueryWire pins the wire contract of the native query option:
+// for every query kind the NDJSON data lines are byte-identical to the
+// simulated run — emission order is execution-mode-invariant — while the
+// trailer's result.stats is zero (native execution compiles the
+// accounting out) and every other trailer field matches.
+func TestNativeQueryWire(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, "g", "gnm:n=200,m=1600",
+		repro.Options{MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 7})
+
+	reqs := []QueryRequest{
+		{Kind: "triangles", Seed: 3},
+		{Kind: "triangles", Algorithm: "oblivious", Seed: 3},
+		{Kind: "cliques", K: 4, Seed: 5},
+		{Kind: "match", Pattern: "diamond", Seed: 5},
+	}
+	for _, req := range reqs {
+		name := req.Kind + "/" + req.Algorithm
+		sim, simTrailer, status := postQuery(t, ts.URL, "g", "", req)
+		if status != http.StatusOK {
+			t.Fatalf("%s: simulated status %d", name, status)
+		}
+		nreq := req
+		nreq.Native = true
+		nat, natTrailer, status := postQuery(t, ts.URL, "g", "", nreq)
+		if status != http.StatusOK {
+			t.Fatalf("%s: native status %d", name, status)
+		}
+		if !bytes.Equal(sim, nat) {
+			t.Errorf("%s: native data lines differ from simulated (%d vs %d bytes)", name, len(nat), len(sim))
+		}
+		if natTrailer.Result.Stats != (WireIOStats{}) {
+			t.Errorf("%s: native trailer stats not zero: %+v", name, natTrailer.Result.Stats)
+		}
+		if simTrailer.Result.Stats == (WireIOStats{}) {
+			t.Errorf("%s: simulated trailer stats unexpectedly zero", name)
+		}
+		natTrailer.Result.Stats = simTrailer.Result.Stats
+		if natTrailer != simTrailer {
+			t.Errorf("%s: trailers differ beyond stats:\nnative:    %+v\nsimulated: %+v", name, natTrailer, simTrailer)
+		}
+	}
+}
+
+// TestNativeCursorContract pins the cursor semantics of the execution
+// mode: a cursor inherits the mode it was minted under, and a request
+// that forces native on a simulated cursor is rejected with 400 — a
+// cursor is a position in one specific stream, statistics included.
+func TestNativeCursorContract(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, "g", "gnm:n=200,m=1600",
+		repro.Options{MemoryWords: 1 << 10, BlockWords: 1 << 5, Seed: 7})
+
+	// Full native stream as the reference.
+	full, _, status := postQuery(t, ts.URL, "g", "", QueryRequest{Seed: 3, Native: true})
+	if status != http.StatusOK {
+		t.Fatalf("full query status %d", status)
+	}
+
+	// A limit-stopped native query mints a native cursor; resuming with
+	// the mode unset inherits it and delivers the exact suffix.
+	head, trailer, status := postQuery(t, ts.URL, "g", "", QueryRequest{Seed: 3, Native: true, Limit: 5})
+	if status != http.StatusOK || trailer.Cursor == "" {
+		t.Fatalf("limited query: status %d, cursor %q", status, trailer.Cursor)
+	}
+	tail, tailTrailer, status := postQuery(t, ts.URL, "g", "", QueryRequest{Cursor: trailer.Cursor})
+	if status != http.StatusOK {
+		t.Fatalf("resume status %d", status)
+	}
+	if got := append(append([]byte{}, head...), tail...); !bytes.Equal(got, full) {
+		t.Errorf("native head+tail != full stream (%d vs %d bytes)", len(got), len(full))
+	}
+	if tailTrailer.Result.Stats != (WireIOStats{}) {
+		t.Errorf("resumed stream did not inherit native mode: stats %+v", tailTrailer.Result.Stats)
+	}
+
+	// Simulated cursor + native request: 400.
+	_, simTrailer, status := postQuery(t, ts.URL, "g", "", QueryRequest{Seed: 3, Limit: 5})
+	if status != http.StatusOK || simTrailer.Cursor == "" {
+		t.Fatalf("simulated limited query: status %d, cursor %q", status, simTrailer.Cursor)
+	}
+	raw, _, status, err := tryQuery(ts.URL, "g", "", QueryRequest{Cursor: simTrailer.Cursor, Native: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusBadRequest {
+		t.Fatalf("native resume of simulated cursor: status %d, body %s", status, raw)
+	}
+}

@@ -364,6 +364,7 @@ type resolvedQuery struct {
 	algName string
 	seed    uint64
 	workers int
+	native  bool
 	limit   uint64
 	pos     uint64
 }
@@ -379,6 +380,7 @@ func resolveQuery(req QueryRequest, cur *cursor) (resolvedQuery, error) {
 		algName: req.Algorithm,
 		seed:    req.Seed,
 		workers: req.Workers,
+		native:  req.Native,
 		limit:   req.Limit,
 	}
 	if cur != nil {
@@ -409,6 +411,14 @@ func resolveQuery(req QueryRequest, cur *cursor) (resolvedQuery, error) {
 			rq.seed = cur.Seed
 		} else if rq.seed != cur.Seed {
 			return rq, fmt.Errorf("query seed %d does not match cursor seed %d", rq.seed, cur.Seed)
+		}
+		// The execution mode never changes the emission order, but the
+		// trailer statistics differ, so a cursor pins it like the rest of
+		// the query identity: unset inherits, set must match.
+		if !rq.native {
+			rq.native = cur.Native
+		} else if !cur.Native {
+			return rq, errors.New("query requests native execution but the cursor was minted on a simulated run")
 		}
 	}
 	if rq.kind == "" {
@@ -465,6 +475,7 @@ func (rq resolvedQuery) mintCursor(graphID string, gen, delivered uint64) string
 		Pattern:   rq.patName,
 		Algorithm: rq.algName,
 		Seed:      rq.seed,
+		Native:    rq.native,
 		Pos:       rq.pos + delivered,
 	})
 }
@@ -582,6 +593,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	q := repro.Query{Algorithm: rq.alg, Seed: rq.seed, Workers: rq.workers}
+	if rq.native {
+		q.Mode = repro.ModeNative
+	}
 	if rq.limit > 0 {
 		q.Limit = rq.pos + rq.limit
 	}

@@ -127,6 +127,13 @@ type QueryRequest struct {
 	// emission stream and aggregated statistics are identical at every
 	// value — wall-clock only.
 	Workers int `json:"workers,omitempty"`
+	// Native runs the query natively on the canonical image
+	// (repro.ModeNative): the emission lines are byte-identical to the
+	// simulated run, but the trailer's result.stats is zero — native
+	// execution compiles the block-I/O accounting out. Applies to every
+	// kind. A cursor remembers the mode it was minted under; resuming
+	// with a conflicting mode is a 400.
+	Native bool `json:"native,omitempty"`
 	// Limit, when positive, ends the stream cleanly after Limit
 	// emissions and returns a resumable cursor in the trailer.
 	Limit uint64 `json:"limit,omitempty"`

@@ -146,13 +146,28 @@ func solveColored(sp *extmem.Space, edges extmem.Extent, colorOf func(uint32) ui
 // tasks go through this body — sharing it is what keeps their emission
 // streams identical.
 func solveTriple(sp *extmem.Space, edges extmem.Extent, off []int64, c, t1, t2, t3 int, colorOf func(uint32) uint32, scratch extmem.Extent, emit graph.Emit) {
+	b12 := bucketAt(edges, off, c, t2, t3)
+	solveTripleRange(sp, edges, off, c, t1, t2, t3, 0, b12.Len(), 0, colorOf, scratch, emit)
+}
+
+// solveTripleRange is solveTriple restricted to the pivot rows
+// [pivLo, pivHi) of E_{τ2,τ3}, with an explicit kernel chunk size. The
+// kernel's pivot loop processes chunks of memEdges rows independently —
+// each chunk is one full scan of the triple's edge union — so running the
+// ranges [k·memEdges, (k+1)·memEdges) as separate invocations and
+// concatenating their emissions reproduces solveTriple's stream exactly.
+// That is the native mode's work-stealing grain: a skewed triple splits
+// into per-chunk tasks the engine's dynamic dispatch balances across
+// workers (parallel.go), at the price of re-merging the bucket union per
+// chunk.
+func solveTripleRange(sp *extmem.Space, edges extmem.Extent, off []int64, c, t1, t2, t3 int, pivLo, pivHi int64, memEdges int, colorOf func(uint32) uint32, scratch extmem.Extent, emit graph.Emit) {
 	b01 := bucketAt(edges, off, c, t1, t2)
 	b02 := bucketAt(edges, off, c, t1, t3)
 	b12 := bucketAt(edges, off, c, t2, t3)
 	parts := distinctExtents(b01, b02, b12)
 	un := mergeSortedInto(scratch, parts)
 	tau1 := uint32(t1)
-	kernel(sp, un, b12, 0, func(v, _, _ uint32) bool {
+	kernel(sp, un, b12.Slice(pivLo, pivHi), memEdges, func(v, _, _ uint32) bool {
 		return colorOf(v) == tau1
 	}, emit)
 }

@@ -59,7 +59,6 @@ func ObliviousCtx(ctx context.Context, sp *extmem.Space, g graph.Canonical, seed
 		ctx:  ctx,
 		emit: emit,
 		info: &info,
-		rng:  hashing.NewRand(seed),
 	}
 	o.work = sp.Alloc(E)
 	g.Edges.CopyTo(o.work)
@@ -71,7 +70,7 @@ func ObliviousCtx(ctx context.Context, sp *extmem.Space, g graph.Canonical, seed
 	for d := int64(1); d < E; d *= 4 {
 		o.maxDepth++
 	}
-	err := o.recurse(0, E, [3]uint32{1, 1, 1}, 0)
+	err := o.recurse(0, E, [3]uint32{1, 1, 1}, 0, hashing.NewRand(seed))
 	return info, err
 }
 
@@ -80,12 +79,20 @@ func ObliviousCtx(ctx context.Context, sp *extmem.Space, g graph.Canonical, seed
 // each edge's endpoints, maintained incrementally so compatibility tests
 // do not re-evaluate the whole hash chain. All operations on a segment are
 // permutations of it, so a parent's edge multiset survives its children.
+//
+// Randomness is path-split: each recursion node owns a private Rand,
+// drawing its level's Poly4 from it and deriving the eight children's
+// Rands with Split(bits). A node's random choices — and hence its entire
+// subtree's emission stream — are therefore a pure function of (segment
+// edge set, color vector, depth, chain, node Rand), independent of
+// whatever its siblings do. That is what lets the parallel planner
+// (oblivious_parallel.go) hand subtrees to workers and reproduce the
+// sequential stream exactly.
 type oblivious struct {
 	sp       *extmem.Space
 	ctx      context.Context
 	emit     graph.Emit
 	info     *Info
-	rng      *hashing.Rand
 	work     extmem.Extent
 	ann      extmem.Extent
 	scratchE extmem.Extent
@@ -114,7 +121,7 @@ func (o *oblivious) properEmit(col [3]uint32, depth int) func(a, b, c uint32) {
 	}
 }
 
-func (o *oblivious) recurse(lo, hi int64, col [3]uint32, depth int) error {
+func (o *oblivious) recurse(lo, hi int64, col [3]uint32, depth int, rnd *hashing.Rand) error {
 	n := hi - lo
 	if n == 0 {
 		return nil
@@ -158,7 +165,7 @@ func (o *oblivious) recurse(lo, hi int64, col [3]uint32, depth int) error {
 
 	// Step 2: refine the coloring with a fresh 4-wise independent bit,
 	// ξ'(v) = 2ξ(v) − b(v), updating the per-edge color annotations.
-	b := hashing.NewPoly4(o.rng)
+	b := hashing.NewPoly4(rnd)
 	o.chain = append(o.chain, b)
 	for i := int64(0); i < n; i++ {
 		e := seg.Read(i)
@@ -169,14 +176,19 @@ func (o *oblivious) recurse(lo, hi int64, col [3]uint32, depth int) error {
 	}
 
 	// Step 3: the eight subproblems ζ ∈ {2c0−1,2c0}×{2c1−1,2c1}×{2c2−1,2c2}.
+	// Every child's Rand is split off unconditionally — even for an empty
+	// child — so the sequence of draws per node is fixed (4 for the Poly4,
+	// then one per Split) and every child's randomness is reproducible from
+	// the node's Rand alone.
 	for bits := 0; bits < 8; bits++ {
+		childRnd := rnd.Split(uint64(bits))
 		zeta := [3]uint32{
 			2*col[0] - uint32(bits>>0&1),
 			2*col[1] - uint32(bits>>1&1),
 			2*col[2] - uint32(bits>>2&1),
 		}
 		k := o.partitionCompatible(lo, lo+n, zeta)
-		if err := o.recurse(lo, lo+k, zeta, depth+1); err != nil {
+		if err := o.recurse(lo, lo+k, zeta, depth+1, childRnd); err != nil {
 			return err
 		}
 	}

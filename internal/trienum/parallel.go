@@ -382,22 +382,66 @@ func solveColoredParallel(ctx context.Context, sp *extmem.Space, edges extmem.Ex
 	release()
 	shared := sp.Snapshot(edges)
 
+	// Task granularity. In simulated mode each color triple is one task:
+	// the unit the paper's accounting charges, and what keeps the I/O
+	// totals of the gated experiments stable. In native mode there is no
+	// accounting to preserve and wall-clock is the product, so a skewed
+	// triple — one hot color pair holding most pivot edges — is split at
+	// the kernel's own chunk boundaries into one task per memEdges pivot
+	// rows. The engine's pull-based dispatch (workers take the next task
+	// as they free up) then steals the hot triple's chunks across the
+	// pool instead of serializing them on one worker. memEdges replicates
+	// the kernel's auto-sizing under the c²+1-word bucket-index lease, so
+	// chunk boundaries — and the concatenated emission stream — are
+	// exactly the single-task kernel's.
+	chunked := cfg.Native
+	memEdges := 0
+	if chunked {
+		lease := c*c + 1
+		if maxLease := cfg.M - 2*cfg.B; lease > maxLease {
+			lease = maxLease
+		}
+		if lease < 0 {
+			lease = 0
+		}
+		memEdges = (cfg.M - lease) / 8
+		if memEdges < 16 {
+			memEdges = 16
+		}
+	}
+
 	var tasks []shardTask
 	forEachTriple(off, c, func(t1, t2, t3 int) {
-		tasks = append(tasks, func(shard *extmem.Space, emit graph.Emit) {
-			// The shard consults the same c²+1-word bucket index the
-			// coordinator built; charge it the same internal memory.
-			release := shard.LeaseAtMost(c*c + 1)
-			defer release()
-			seg := shard.ExtentAt(0, E)
-			// Scratch for the bucket union; the three named buckets bound
-			// its size even when colors coincide and buckets alias.
-			need := bucketAt(seg, off, c, t1, t2).Len() +
-				bucketAt(seg, off, c, t1, t3).Len() +
-				bucketAt(seg, off, c, t2, t3).Len()
-			solveTriple(shard, seg, off, c, t1, t2, t3, colorOf, shard.Alloc(need), emit)
-		})
 		info.Subproblems++
+		// Scratch for the bucket union; the three named buckets bound
+		// its size even when colors coincide and buckets alias.
+		need := bucketAt(edges, off, c, t1, t2).Len() +
+			bucketAt(edges, off, c, t1, t3).Len() +
+			bucketAt(edges, off, c, t2, t3).Len()
+		nPiv := bucketAt(edges, off, c, t2, t3).Len()
+		if !chunked || nPiv <= int64(memEdges) {
+			tasks = append(tasks, func(shard *extmem.Space, emit graph.Emit) {
+				// The shard consults the same c²+1-word bucket index the
+				// coordinator built; charge it the same internal memory.
+				release := shard.LeaseAtMost(c*c + 1)
+				defer release()
+				seg := shard.ExtentAt(0, E)
+				solveTriple(shard, seg, off, c, t1, t2, t3, colorOf, shard.Alloc(need), emit)
+			})
+			return
+		}
+		for lo := int64(0); lo < nPiv; lo += int64(memEdges) {
+			hi := lo + int64(memEdges)
+			if hi > nPiv {
+				hi = nPiv
+			}
+			tasks = append(tasks, func(shard *extmem.Space, emit graph.Emit) {
+				release := shard.LeaseAtMost(c*c + 1)
+				defer release()
+				seg := shard.ExtentAt(0, E)
+				solveTripleRange(shard, seg, off, c, t1, t2, t3, lo, hi, memEdges, colorOf, shard.Alloc(need), emit)
+			})
+		}
 	})
 	ws, err := runTasks(ctx, cfg, shared, tasks, workers, emit)
 	return extmem.AddStatsVec(sortWS, ws), err

@@ -49,6 +49,13 @@ var parallelEngines = []struct {
 		}
 		return info, ws
 	}},
+	{"oblivious", func(sp *extmem.Space, g graph.Canonical, exec Exec, emit graph.Emit) (Info, []extmem.Stats) {
+		info, ws, err := ObliviousParallel(sp, g, 12345, exec, emit)
+		if err != nil {
+			panic(err)
+		}
+		return info, ws
+	}},
 }
 
 // parallelWorkloads deliberately includes the skewed and high-degree
@@ -136,6 +143,52 @@ func TestParallelMatchesSequentialTriangleSet(t *testing.T) {
 			for tr, n := range want {
 				if n != 0 {
 					t.Fatalf("triangle %v: sequential-parallel multiplicity diff %d", tr, n)
+				}
+			}
+		})
+	}
+}
+
+// TestObliviousParallelMatchesSequentialStream is the oblivious engine's
+// strongest oracle: the parallel run's emission sequence is byte-identical
+// to the sequential ObliviousCtx with the same seed — not just the same
+// set — at every worker count, and the recursion bookkeeping (subproblem,
+// base-case, high-degree, and per-level tallies) agrees exactly. This is
+// what licenses routing CacheOblivious queries through the engine.
+func TestObliviousParallelMatchesSequentialStream(t *testing.T) {
+	cfg := extmem.Config{M: 1 << 8, B: 1 << 4}
+	for name, el := range parallelWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			sp := extmem.NewSpace(cfg)
+			g := graph.CanonicalizeList(sp, el)
+			var seq []graph.Triple
+			seqInfo, err := ObliviousCtx(nil, sp, g, 12345, func(a, b, c uint32) {
+				seq = append(seq, graph.MakeTriple(g.RankToID[a], g.RankToID[b], g.RankToID[c]))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				got, _, info := parallelRun(t, el, cfg, workers, parallelEngines[2].run)
+				if len(got) != len(seq) {
+					t.Fatalf("workers=%d emitted %d triangles, sequential emitted %d", workers, len(got), len(seq))
+				}
+				for i := range got {
+					if got[i] != seq[i] {
+						t.Fatalf("workers=%d: emission %d = %v, sequential emitted %v (order must match)", workers, i, got[i], seq[i])
+					}
+				}
+				if info.Subproblems != seqInfo.Subproblems || info.BaseCases != seqInfo.BaseCases ||
+					info.HighDegVertices != seqInfo.HighDegVertices || info.Triangles != seqInfo.Triangles {
+					t.Errorf("workers=%d: Info differs from sequential: %+v vs %+v", workers, info, seqInfo)
+				}
+				if len(info.Recursion) != len(seqInfo.Recursion) {
+					t.Fatalf("workers=%d: %d recursion levels, sequential has %d", workers, len(info.Recursion), len(seqInfo.Recursion))
+				}
+				for i, lv := range info.Recursion {
+					if lv != seqInfo.Recursion[i] {
+						t.Errorf("workers=%d: recursion level %d = %+v, sequential %+v", workers, i, lv, seqInfo.Recursion[i])
+					}
 				}
 			}
 		})

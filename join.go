@@ -43,6 +43,10 @@ type JoinOptions struct {
 	// (0 = one per CPU); the reconstructed rows and aggregated I/O
 	// statistics are identical at every value.
 	Workers int
+	// Native runs the join's triangle enumeration natively on the
+	// canonical image: same reconstructed rows, zero I/O statistics.
+	// See Options.Native.
+	Native bool
 }
 
 // JoinStats reports the I/O work of a join.
@@ -67,11 +71,12 @@ func (d JoinDecomposition) Join(opt JoinOptions, visit func(JoinRow)) (JoinStats
 	}
 	dec := join.Decomposition{SB: toJoinPairs(d.SB), BT: toJoinPairs(d.BT), ST: toJoinPairs(d.ST)}
 	enc := dec.Encode()
-	parallelAlgo := opt.Algorithm == CacheAware || opt.Algorithm == Deterministic
+	parallelAlgo := opt.Algorithm == CacheAware || opt.Algorithm == CacheOblivious || opt.Algorithm == Deterministic
 	g, err := Build(FromEdges(enc.Edges), Options{
 		MemoryWords:     opt.MemoryWords,
 		BlockWords:      opt.BlockWords,
 		Workers:         opt.Workers,
+		Native:          opt.Native,
 		SequentialCanon: !parallelAlgo,
 	})
 	if err != nil {

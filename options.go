@@ -63,6 +63,22 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	return 0, fmt.Errorf("repro: unknown algorithm %q (have %v)", s, Algorithms())
 }
 
+// ExecMode selects how a query executes its algorithm: on the simulated
+// external-memory machine (the faithful path, with exact block-I/O
+// accounting) or natively on the canonical image (the fast path, same
+// decomposition and emission stream, accounting compiled out). See
+// Options.Native for the contract.
+type ExecMode int
+
+const (
+	// ModeAuto inherits the handle's Options.Native. The default.
+	ModeAuto ExecMode = iota
+	// ModeSimulated forces the simulated machine for this query.
+	ModeSimulated
+	// ModeNative forces native execution for this query.
+	ModeNative
+)
+
 // Options describes the simulated external-memory machine a Graph is
 // built on and the defaults its queries inherit. The zero value is a
 // usable default machine (M = 1<<16 words, B = 1<<7 words, one worker
@@ -102,6 +118,19 @@ type Options struct {
 	// the log to the exact pre-crash generation. FORMAT.md specifies the
 	// on-disk formats; the image outlives the handle on disk.
 	DiskPath string
+	// Native makes queries execute natively by default (overridable per
+	// query via Query.Mode): the algorithms run their exact simulated-mode
+	// decomposition — same leases, same subproblem grain, same emission
+	// stream, byte-identical at every Workers value — but read and write
+	// the canonical image directly (memory-backed handles operate on the
+	// image's words in place; disk-backed handles decode the image once
+	// per session) instead of moving blocks through the simulated cache.
+	// The block-transfer accounting is compiled out of the hot path: a
+	// native query reports zero Stats and nil WorkerStats — the one
+	// documented divergence from simulated execution. Build, Open, and
+	// Update always canonicalize on the simulated machine, so CanonIOs
+	// remains meaningful on native handles.
+	Native bool
 	// SequentialCanon runs the Build-time canonicalization with the
 	// sequential reference sorts on the coordinator instead of the
 	// parallel emsort engine. The canonical representation is
@@ -154,9 +183,10 @@ type Config struct {
 	// Workers is the number of parallel workers solving independent
 	// subproblems — and running the parallel external-memory sorts that
 	// canonicalize the input and order the color-pair buckets — for the
-	// CacheAware and Deterministic algorithms (0 = runtime.GOMAXPROCS(0),
-	// i.e. one per CPU; the other algorithms are sequential and ignore
-	// it). The triangle stream, the triangle count, and the aggregated
+	// CacheAware, CacheOblivious, and Deterministic algorithms
+	// (0 = runtime.GOMAXPROCS(0), i.e. one per CPU; the baseline
+	// algorithms are sequential and ignore it). The triangle stream, the
+	// triangle count, and the aggregated
 	// I/O statistics (including CanonIOs) are identical for every value
 	// of Workers — only wall-clock time changes.
 	Workers int
@@ -166,6 +196,10 @@ type Config struct {
 	// DiskPath, when non-empty, backs the external memory with a real
 	// file at that path instead of process memory.
 	DiskPath string
+	// Native runs the enumeration natively on the canonical image instead
+	// of the simulated machine: identical triangle stream, zero Stats.
+	// See Options.Native.
+	Native bool
 }
 
 func (c Config) withDefaults() Config {

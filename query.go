@@ -25,10 +25,16 @@ type Query struct {
 	// in it.
 	Seed uint64
 	// Workers overrides the Graph's Options.Workers for this query
-	// (0 = inherit). Only CacheAware and Deterministic run parallel
-	// phases; emission and aggregated statistics are identical at every
-	// worker count.
+	// (0 = inherit). CacheAware, CacheOblivious, and Deterministic run
+	// parallel phases; emission and aggregated statistics are identical
+	// at every worker count.
 	Workers int
+	// Mode overrides the handle's execution mode for this query:
+	// ModeAuto (default) inherits Options.Native, ModeSimulated forces
+	// the simulated machine, ModeNative forces native execution. The
+	// emission stream is byte-identical either way; a native run reports
+	// zero Stats and nil WorkerStats. See Options.Native.
+	Mode ExecMode
 	// FamilySize overrides the small-bias family size used by the
 	// Deterministic algorithm (0 = default).
 	FamilySize int
@@ -65,6 +71,8 @@ type Result struct {
 	Vertices int
 	Edges    int64
 	// Stats covers the enumeration proper (canonicalization excluded).
+	// Native runs (Options.Native, Query.Mode) compile the accounting out
+	// of the hot path and report a zero Stats.
 	Stats IOStats
 	// CanonIOs is the one-time cost of producing the canonical image the
 	// query ran on: the O(sort(E)) Build canonicalization (Section 1.3)
@@ -89,8 +97,11 @@ type Result struct {
 	Workers int
 	// WorkerStats breaks the parallel phases down per worker. Which
 	// worker solved which subproblem depends on scheduling, so individual
-	// entries vary run to run; their sum does not, and is already
-	// included in Stats.
+	// entries vary run to run — their length may too: the engine engages
+	// at most one worker per task, so small inputs produce fewer entries
+	// than Workers. Only the aggregate is deterministic: the entry-wise
+	// sum is invariant across runs and worker counts, and is already
+	// included in Stats. Native runs report a nil WorkerStats.
 	WorkerStats []IOStats
 }
 
@@ -99,6 +110,18 @@ func (g *Graph) resolveWorkers(q Query) int {
 		return q.Workers
 	}
 	return g.opts.workers()
+}
+
+// resolveNative applies the Query.Mode override to the handle's default
+// execution mode.
+func (g *Graph) resolveNative(q Query) bool {
+	switch q.Mode {
+	case ModeNative:
+		return true
+	case ModeSimulated:
+		return false
+	}
+	return g.opts.Native
 }
 
 // limiter implements Query.Limit: it counts delivered emissions,
@@ -156,8 +179,9 @@ func (l *limiter) finish(ctx context.Context, res *Result, err error) error {
 // configured algorithm, calling emit exactly once per triangle from the
 // calling goroutine. Vertices carry the input's ids, sorted a < b < c; a
 // nil emit counts only. Cancellation through ctx is cooperative — the
-// parallel engine (CacheAware, Deterministic) checks between subproblems
-// and sort runs, drains its worker pool, and returns ctx.Err(); the
+// parallel engine (CacheAware, CacheOblivious, Deterministic) checks
+// between subproblems and sort runs, drains its worker pool, and
+// returns ctx.Err(); the
 // sequential algorithms check at their pass, chunk, and recursion
 // boundaries. The triangles emitted before a cancellation are a prefix of
 // the full stream, and the Result returned alongside the error carries
@@ -170,7 +194,8 @@ func (l *limiter) finish(ctx context.Context, res *Result, err error) error {
 // queries against the handle (but must not Close it — Close waits for the
 // query emit is running under).
 func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c uint32)) (Result, error) {
-	s, err := g.acquire()
+	native := g.resolveNative(q)
+	s, err := g.acquire(native)
 	if err != nil {
 		return Result{}, err
 	}
@@ -198,7 +223,8 @@ func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c ui
 		info, workerStats, err = trienum.CacheAwareParallel(s.sp, s.cg, q.Seed, exec, wrapped)
 		res.Workers = workers
 	case CacheOblivious:
-		info, err = trienum.ObliviousCtx(qctx, s.sp, s.cg, q.Seed, wrapped)
+		info, workerStats, err = trienum.ObliviousParallel(s.sp, s.cg, q.Seed, exec, wrapped)
+		res.Workers = workers
 	case Deterministic:
 		info, workerStats, err = trienum.DeterministicParallel(s.sp, s.cg, q.FamilySize, exec, wrapped)
 		if err == nil {
@@ -221,6 +247,11 @@ func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c ui
 		s.sp.Flush()
 	}
 	st := s.sp.Stats()
+	if native {
+		// Native execution compiles the accounting out: Stats stays zero
+		// and WorkerStats nil, per the Result contract.
+		workerStats = nil
+	}
 	for _, w := range workerStats {
 		st.Add(w)
 		res.WorkerStats = append(res.WorkerStats, toIOStats(w))
@@ -341,7 +372,7 @@ func (g *Graph) Match(ctx context.Context, p *Pattern, q Query) iter.Seq2[[]uint
 // sets; pattern embeddings are positional and must not be reordered).
 func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
 	run func(qctx context.Context, s *session, wrapped subgraph.EmitK) (subgraph.Info, error), sortIDs bool) (Result, error) {
-	s, err := g.acquire()
+	s, err := g.acquire(g.resolveNative(q))
 	if err != nil {
 		return Result{}, err
 	}

@@ -119,6 +119,21 @@
 // byte-identical whether Workers is 1 or NumCPU. emit is always invoked
 // from the calling goroutine, never concurrently.
 //
+// # Execution modes
+//
+// Queries run in one of two modes over the same engine. The faithful
+// path (the default) routes every access through the simulated
+// external-memory machine and reports the paper's exact block counts —
+// use it to measure the algorithms. The fast path (Options.Native per
+// handle, Query.Mode = ModeNative per query) runs the identical
+// decomposition on direct slices with the accounting compiled out of
+// the hot path — use it to time the algorithms, or wherever only the
+// results matter. The emission stream is byte-identical between the
+// modes at every Workers value, memory- and disk-backed; the one
+// documented divergence is that a native run reports zero Result.Stats
+// and nil Result.WorkerStats. Build, Open, and Update always run on
+// the faithful path, so CanonIOs and merge costs stay meaningful.
+//
 // # Standing queries
 //
 // Subscribe registers a standing query on an updatable handle: after

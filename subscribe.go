@@ -28,7 +28,8 @@ import (
 //
 // Stats is the exact block-I/O cost of the differential computation for
 // this subscription — the closure scans over the two images — and is
-// likewise deterministic and invariant in Workers. The generation-over-
+// likewise deterministic and invariant in Workers (zero for native
+// subscriptions, whose accounting is compiled out). The generation-over-
 // generation accumulation contract is pinned by tests: concatenating a
 // subscription's ChangeSets reproduces the diff of fresh enumerations
 // of any two of its generations.
@@ -60,6 +61,7 @@ type Subscription struct {
 	spec    diff.Spec
 	pat     *Pattern
 	workers int
+	native  bool
 
 	mu     sync.Mutex
 	cond   sync.Cond
@@ -77,8 +79,10 @@ type Subscription struct {
 // destroyed, as a ChangeSet of ascending id triples. Query.Workers
 // bounds the differential kernel's parallelism exactly as in Triangles
 // (0 = inherit the handle's Options.Workers); emissions and Stats are
-// invariant in it. Query.Algorithm, Seed, Limit, and Result do not apply
-// to subscriptions and are ignored.
+// invariant in it. Query.Mode selects the execution mode as in Triangles,
+// captured once at registration: a native subscription's ChangeSets carry
+// the same Added/Removed tuples with a zero Stats. Query.Algorithm, Seed,
+// Limit, and Result do not apply to subscriptions and are ignored.
 //
 // ctx bounds the subscription's lifetime: when it is cancelled the
 // subscription closes and Err reports ctx.Err(). ctx may be nil. The
@@ -86,7 +90,7 @@ type Subscription struct {
 // observes every generation transition after the Generation it reports,
 // each fully or not at all.
 func (g *Graph) Subscribe(ctx context.Context, q Query) (*Subscription, error) {
-	return g.subscribe(ctx, diff.Spec{K: 3}, nil, g.resolveWorkers(q))
+	return g.subscribe(ctx, diff.Spec{K: 3}, nil, q)
 }
 
 // SubscribeCliques is Subscribe for k-cliques, k >= 3.
@@ -94,7 +98,7 @@ func (g *Graph) SubscribeCliques(ctx context.Context, k int, q Query) (*Subscrip
 	if k < 3 {
 		return nil, fmt.Errorf("repro: clique size %d out of range (need k >= 3)", k)
 	}
-	return g.subscribe(ctx, diff.Spec{K: k}, nil, g.resolveWorkers(q))
+	return g.subscribe(ctx, diff.Spec{K: k}, nil, q)
 }
 
 // SubscribeMatch is Subscribe for embeddings of a pattern, delivered as
@@ -103,10 +107,12 @@ func (g *Graph) SubscribeMatch(ctx context.Context, p *Pattern, q Query) (*Subsc
 	if p == nil || p.p == nil {
 		return nil, fmt.Errorf("repro: SubscribeMatch requires a non-nil pattern")
 	}
-	return g.subscribe(ctx, diff.Spec{Pattern: p.p}, p, g.resolveWorkers(q))
+	return g.subscribe(ctx, diff.Spec{Pattern: p.p}, p, q)
 }
 
-func (g *Graph) subscribe(ctx context.Context, spec diff.Spec, pat *Pattern, workers int) (*Subscription, error) {
+func (g *Graph) subscribe(ctx context.Context, spec diff.Spec, pat *Pattern, q Query) (*Subscription, error) {
+	workers := g.resolveWorkers(q)
+	native := g.resolveNative(q)
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -120,6 +126,7 @@ func (g *Graph) subscribe(ctx context.Context, spec diff.Spec, pat *Pattern, wor
 		spec:    spec,
 		pat:     pat,
 		workers: workers,
+		native:  native,
 		ch:      make(chan ChangeSet),
 		done:    make(chan struct{}),
 		dropped: make(chan struct{}),
@@ -310,7 +317,7 @@ func (g *Graph) diffPass(s *Subscription, gen *generation, deltaIDs []extmem.Wor
 	if len(deltaIDs) == 0 {
 		return out, extmem.Stats{}, nil
 	}
-	cfg := extmem.Config{M: g.opts.MemoryWords, B: g.opts.BlockWords}
+	cfg := extmem.Config{M: g.opts.MemoryWords, B: g.opts.BlockWords, Native: s.native}
 	// The kernel never allocates external scratch (its closure state is
 	// leased internal memory), so the session needs no scratch file even
 	// on disk-backed handles.
