@@ -29,14 +29,16 @@ docs:
 
 # Race-detect the parallel execution engine, its memory model, the
 # parallel sort substrate, the concurrent-query public surface, the
-# HTTP daemon layer, and the differential kernel behind subscriptions.
+# HTTP daemon layer, the differential kernel behind subscriptions, and
+# the cluster partitioning layer (whose coordinator interleaves
+# scatter–gather queries with 2PC updates).
 # The packages that own worker scheduling (the root package and
 # internal/trienum) additionally run at -cpu=1,4: GOMAXPROCS=1
 # serializes the goroutines, 4 exercises work stealing and the parallel
 # oblivious recursion under real preemption.
 race:
 	$(GO) test -race -cpu=1,4 . ./internal/trienum
-	$(GO) test -race ./internal/extmem ./internal/emsort ./internal/serve ./internal/diff
+	$(GO) test -race ./internal/extmem ./internal/emsort ./internal/serve ./internal/diff ./internal/cluster
 
 # One iteration of every benchmark in every package (the CI smoke); use
 # BENCHTIME=5x etc. for real measurements.

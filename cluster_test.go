@@ -1,0 +1,500 @@
+// Cluster invariance suite: the scatter–gather layer's contract, pinned
+// end to end over real HTTP shard servers.
+//
+// The contract under test: for any shard count S, the gathered stream
+// of a cluster query is byte-identical to a single-process Query.Ordered
+// run of the full graph at every Workers value, and the aggregate
+// simulated IOs summed over shards are a pure function of (graph,
+// manifest, query) — never of process placement, shard count, backing
+// store, or concurrency.
+//
+// This file lives in package repro_test (not repro) because it imports
+// internal/serve for the shard server side; the root package itself
+// must not depend on serve.
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// startCluster partitions g into S shards under a fresh directory and
+// serves each sub-image on its own httptest server. When memoryBacked,
+// the shard handles are rebuilt in memory from the sub-image edge sets
+// instead of serving the durable images directly — the gathered stream
+// must not care.
+func startCluster(t testing.TB, g *repro.Graph, shards, colors int, memoryBacked bool) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	pr, err := repro.Partition(context.Background(), g, repro.PartitionOptions{Dir: dir, Shards: shards, Colors: colors})
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	man, err := cluster.Load(pr.ManifestPath)
+	if err != nil {
+		t.Fatalf("loading manifest: %v", err)
+	}
+	urls := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		sg, _, err := repro.Open(pr.Shards[i].Image, repro.Options{})
+		if err != nil {
+			t.Fatalf("opening shard %d: %v", i, err)
+		}
+		if memoryBacked {
+			var es [][2]uint32
+			if err := sg.EdgesFunc(nil, func(u, v uint32) { es = append(es, [2]uint32{u, v}) }); err != nil {
+				t.Fatal(err)
+			}
+			if err := sg.Close(); err != nil {
+				t.Fatal(err)
+			}
+			sg, err = repro.Build(repro.FromEdges(es), repro.Options{
+				MemoryWords: man.MemoryWords, BlockWords: man.BlockWords,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv := serve.New(serve.Config{})
+		if err := srv.ServeShard(man, i, sg); err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(hs.Close)
+		t.Cleanup(func() { srv.Close() })
+		urls[i] = hs.URL
+	}
+	return pr.ManifestPath, urls
+}
+
+func dial(t testing.TB, manifestPath string, urls []string) *repro.Cluster {
+	t.Helper()
+	cl, err := repro.DialCluster(context.Background(), manifestPath, urls, repro.DialOptions{})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// orderedRef encodes the single-process Query.Ordered stream of g with
+// the wire encoder — the byte string every gathered stream must equal.
+func orderedRef(t testing.TB, g *repro.Graph, kind string, k int, pat *repro.Pattern, q Q) ([]byte, repro.Result) {
+	t.Helper()
+	q.Ordered = true
+	var buf bytes.Buffer
+	var res repro.Result
+	q.Result = &res
+	var err error
+	switch kind {
+	case "triangles":
+		_, err = g.TrianglesFunc(context.Background(), q, func(a, b, c uint32) {
+			buf.Write(serve.AppendEmission(nil, []uint32{a, b, c}))
+		})
+	case "cliques":
+		_, err = g.CliquesFunc(context.Background(), k, q, func(vs []uint32) {
+			buf.Write(serve.AppendEmission(nil, vs))
+		})
+	case "match":
+		_, err = g.MatchFunc(context.Background(), pat, q, func(vs []uint32) {
+			buf.Write(serve.AppendEmission(nil, vs))
+		})
+	}
+	if err != nil {
+		t.Fatalf("reference %s query: %v", kind, err)
+	}
+	return buf.Bytes(), res
+}
+
+// Q aliases repro.Query for brevity in table literals.
+type Q = repro.Query
+
+// gather runs one cluster query and encodes the gathered stream with
+// the wire encoder.
+func gather(t testing.TB, cl *repro.Cluster, kind string, k int, pat *repro.Pattern, q Q) ([]byte, repro.ClusterResult) {
+	t.Helper()
+	var buf bytes.Buffer
+	var cr repro.ClusterResult
+	var err error
+	switch kind {
+	case "triangles":
+		cr, err = cl.TrianglesFunc(context.Background(), q, func(a, b, c uint32) {
+			buf.Write(serve.AppendEmission(nil, []uint32{a, b, c}))
+		})
+	case "cliques":
+		cr, err = cl.CliquesFunc(context.Background(), k, q, func(vs []uint32) {
+			buf.Write(serve.AppendEmission(nil, vs))
+		})
+	case "match":
+		cr, err = cl.MatchFunc(context.Background(), pat, q, func(vs []uint32) {
+			buf.Write(serve.AppendEmission(nil, vs))
+		})
+	}
+	if err != nil {
+		t.Fatalf("gathered %s query: %v", kind, err)
+	}
+	return buf.Bytes(), cr
+}
+
+// aggKey is the placement-invariant aggregate of a gathered query: if
+// any of this varies with S, Workers, or backing store, the cluster's
+// cost accounting has leaked its topology.
+func aggKey(cr repro.ClusterResult) string {
+	return fmt.Sprintf("m=%d sub=%d builds=%d canon=%d stats=%+v v=%d e=%d",
+		cr.Matches, cr.Subproblems, cr.Builds, cr.CanonIOs, cr.Stats, cr.Vertices, cr.Edges)
+}
+
+// TestClusterByteIdentity is the tentpole contract: S ∈ {1,2,4} ×
+// Workers ∈ {1,4}, gathered triangle stream byte-identical to the
+// single-process ordered query, aggregates identical across every cell.
+func TestClusterByteIdentity(t *testing.T) {
+	g, err := repro.Build(repro.FromSpec("gnm:n=300,m=1600"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	want, _ := orderedRef(t, g, "triangles", 0, nil, Q{Seed: 7})
+
+	var agg string
+	for _, S := range []int{1, 2, 4} {
+		manPath, urls := startCluster(t, g, S, 4, false)
+		cl := dial(t, manPath, urls)
+		for _, workers := range []int{1, 4} {
+			got, cr := gather(t, cl, "triangles", 0, nil, Q{Seed: 7, Workers: workers})
+			if !bytes.Equal(got, want) {
+				t.Fatalf("S=%d workers=%d: gathered stream diverges from the single-process ordered stream", S, workers)
+			}
+			if cr.Epoch != 0 || cr.Delivered != cr.Matches {
+				t.Fatalf("S=%d workers=%d: trailer epoch/delivered wrong: %+v", S, workers, cr)
+			}
+			if key := aggKey(cr); agg == "" {
+				agg = key
+			} else if key != agg {
+				t.Fatalf("S=%d workers=%d: aggregate IOs changed with placement:\n got %s\nwant %s", S, workers, key, agg)
+			}
+			if len(cr.Shards) != S {
+				t.Fatalf("S=%d: trailer has %d shard runs", S, len(cr.Shards))
+			}
+		}
+	}
+}
+
+// TestClusterKindsAndLimit covers cliques and match gathering, plus the
+// Limit contract: a limited gather is a prefix of the stream while the
+// aggregates still describe the full enumeration.
+func TestClusterKindsAndLimit(t *testing.T) {
+	g, err := repro.Build(repro.FromSpec("gnm:n=150,m=900"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	manPath, urls := startCluster(t, g, 2, 4, false)
+	cl := dial(t, manPath, urls)
+
+	for _, tc := range []struct {
+		kind string
+		k    int
+		pat  *repro.Pattern
+	}{
+		{kind: "cliques", k: 4},
+		{kind: "match", pat: repro.PatternDiamond},
+		{kind: "match", pat: repro.PatternPath3},
+	} {
+		want, _ := orderedRef(t, g, tc.kind, tc.k, tc.pat, Q{Seed: 3})
+		got, _ := gather(t, cl, tc.kind, tc.k, tc.pat, Q{Seed: 3, Workers: 2})
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: gathered stream diverges from single-process ordered stream", tc.kind)
+		}
+	}
+
+	full, fullCR := gather(t, cl, "triangles", 0, nil, Q{})
+	if fullCR.Matches < 8 {
+		t.Fatalf("test graph too sparse: %d triangles", fullCR.Matches)
+	}
+	lim, limCR := gather(t, cl, "triangles", 0, nil, Q{Limit: 5})
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	var prefix []byte
+	for i := 0; i < 5; i++ {
+		prefix = append(prefix, lines[i]...)
+	}
+	if !bytes.Equal(lim, prefix) {
+		t.Fatal("limited gather is not a prefix of the full gathered stream")
+	}
+	if limCR.Delivered != 5 || limCR.Matches != fullCR.Matches {
+		t.Fatalf("limited trailer: delivered=%d matches=%d, want 5/%d", limCR.Delivered, limCR.Matches, fullCR.Matches)
+	}
+	if aggKey(limCR) != aggKey(fullCR) {
+		t.Fatal("a Limit changed the aggregate statistics (shards must enumerate fully)")
+	}
+}
+
+// TestClusterBackingStoreInvariance: disk-backed and memory-backed
+// shard handles serve byte-identical gathered streams with identical
+// aggregates.
+func TestClusterBackingStoreInvariance(t *testing.T) {
+	g, err := repro.Build(repro.FromSpec("gnm:n=200,m=1100"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	manDisk, urlsDisk := startCluster(t, g, 2, 4, false)
+	manMem, urlsMem := startCluster(t, g, 2, 4, true)
+	clDisk := dial(t, manDisk, urlsDisk)
+	clMem := dial(t, manMem, urlsMem)
+
+	sDisk, crDisk := gather(t, clDisk, "triangles", 0, nil, Q{Seed: 9})
+	sMem, crMem := gather(t, clMem, "triangles", 0, nil, Q{Seed: 9})
+	if !bytes.Equal(sDisk, sMem) {
+		t.Fatal("gathered stream depends on the shards' backing store")
+	}
+	if aggKey(crDisk) != aggKey(crMem) {
+		t.Fatalf("aggregates depend on the shards' backing store:\n disk %s\n mem  %s", aggKey(crDisk), aggKey(crMem))
+	}
+}
+
+// TestClusterRoutedUpdate: a routed update leaves the cluster
+// answering exactly like a cluster freshly partitioned from the updated
+// graph — and like a single-process ordered query of it.
+func TestClusterRoutedUpdate(t *testing.T) {
+	g, err := repro.Build(repro.FromSpec("gnm:n=120,m=700"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	manPath, urls := startCluster(t, g, 2, 4, false)
+	cl := dial(t, manPath, urls)
+
+	delta := repro.Delta{
+		Add:    [][2]uint32{{1, 2}, {3, 200}, {200, 201}, {2, 3}},
+		Remove: [][2]uint32{{0, 1}, {5, 9}},
+	}
+	ur, err := cl.Update(context.Background(), delta)
+	if err != nil {
+		t.Fatalf("routed update: %v", err)
+	}
+	if ur.Epoch != 1 || cl.Epoch() != 1 {
+		t.Fatalf("epoch after one update = %d/%d, want 1", ur.Epoch, cl.Epoch())
+	}
+
+	// The updated single-process truth.
+	if _, err := g.Update(context.Background(), delta); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := orderedRef(t, g, "triangles", 0, nil, Q{Seed: 4})
+	got, gotCR := gather(t, cl, "triangles", 0, nil, Q{Seed: 4})
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-update gathered stream diverges from the updated graph's ordered stream")
+	}
+	if gotCR.Epoch != 1 {
+		t.Fatalf("post-update query ran at epoch %d, want 1", gotCR.Epoch)
+	}
+	if gotCR.Vertices != g.NumVertices() || gotCR.Edges != g.NumEdges() {
+		t.Fatalf("post-update cluster describes %d/%d, graph is %d/%d",
+			gotCR.Vertices, gotCR.Edges, g.NumVertices(), g.NumEdges())
+	}
+
+	// Routed update equals rebuild: a cluster partitioned fresh from the
+	// updated graph gathers the same bytes with the same aggregates.
+	manPath2, urls2 := startCluster(t, g, 2, 4, false)
+	cl2 := dial(t, manPath2, urls2)
+	got2, cr2 := gather(t, cl2, "triangles", 0, nil, Q{Seed: 4})
+	if !bytes.Equal(got, got2) {
+		t.Fatal("routed-updated cluster and freshly-partitioned cluster gather different streams")
+	}
+	if aggKey(gotCR) != aggKey(cr2) {
+		t.Fatalf("routed-updated cluster and fresh partition disagree on aggregates:\n upd   %s\n fresh %s",
+			aggKey(gotCR), aggKey(cr2))
+	}
+}
+
+// TestClusterMixedGenerationNeverObserved: queries racing a routed
+// update each see exactly the pre-update or the post-update stream —
+// never a mix of shard generations.
+func TestClusterMixedGenerationNeverObserved(t *testing.T) {
+	g, err := repro.Build(repro.FromSpec("gnm:n=120,m=700"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	manPath, urls := startCluster(t, g, 2, 4, false)
+	cl := dial(t, manPath, urls)
+
+	delta := repro.Delta{Add: [][2]uint32{{1, 2}, {2, 3}, {1, 3}, {7, 8}}, Remove: [][2]uint32{{0, 1}}}
+	pre, _ := orderedRef(t, g, "triangles", 0, nil, Q{Seed: 5})
+	g2, err := repro.Build(repro.FromSpec("gnm:n=120,m=700"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	if _, err := g2.Update(context.Background(), delta); err != nil {
+		t.Fatal(err)
+	}
+	post, _ := orderedRef(t, g2, "triangles", 0, nil, Q{Seed: 5})
+
+	const queriers = 4
+	results := make(chan []byte, queriers*4)
+	errs := make(chan error, queriers*4)
+	start := make(chan struct{})
+	done := make(chan struct{})
+	for w := 0; w < queriers; w++ {
+		go func() {
+			<-start
+			for i := 0; i < 4; i++ {
+				var buf bytes.Buffer
+				_, err := cl.TrianglesFunc(context.Background(), Q{Seed: 5}, func(a, b, c uint32) {
+					buf.Write(serve.AppendEmission(nil, []uint32{a, b, c}))
+				})
+				if err != nil {
+					errs <- err
+				} else {
+					results <- buf.Bytes()
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	close(start)
+	if _, err := cl.Update(context.Background(), delta); err != nil {
+		t.Fatalf("update racing queries: %v", err)
+	}
+	for w := 0; w < queriers; w++ {
+		<-done
+	}
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent query failed: %v", err)
+	}
+	var sawPre, sawPost bool
+	for stream := range results {
+		switch {
+		case bytes.Equal(stream, pre):
+			sawPre = true
+		case bytes.Equal(stream, post):
+			sawPost = true
+		default:
+			t.Fatal("a concurrent query observed a stream that is neither the pre- nor the post-update stream")
+		}
+	}
+	_ = sawPre
+	if !sawPost {
+		// The update committed before the last round of queries, so at
+		// least one must have seen the new generation.
+		t.Log("note: no query observed the post-update stream (all raced ahead of the commit)")
+	}
+}
+
+// TestClusterEpochPinning: a second coordinator that has not seen a
+// routed update gets a clean epoch-mismatch failure, not stale or mixed
+// results.
+func TestClusterEpochPinning(t *testing.T) {
+	g, err := repro.Build(repro.FromSpec("gnm:n=100,m=500"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	manPath, urls := startCluster(t, g, 2, 4, false)
+	cl1 := dial(t, manPath, urls)
+	cl2 := dial(t, manPath, urls)
+
+	if _, err := cl1.Update(context.Background(), repro.Delta{Add: [][2]uint32{{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl2.TrianglesFunc(context.Background(), Q{}, nil)
+	if err == nil {
+		t.Fatal("stale coordinator's query succeeded; want an epoch mismatch")
+	}
+	if !strings.Contains(err.Error(), "epoch") {
+		t.Fatalf("stale coordinator failed with %v; want an epoch mismatch", err)
+	}
+}
+
+// TestClusterShardExactlyOnce: summing the per-shard Delivered counts
+// reproduces the global count at every S — each match is owned by
+// exactly one shard.
+func TestClusterShardExactlyOnce(t *testing.T) {
+	g, err := repro.Build(repro.FromSpec("gnm:n=250,m=1400"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var res repro.Result
+	if _, err := g.TrianglesFunc(context.Background(), Q{Result: &res}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, S := range []int{2, 4} {
+		manPath, urls := startCluster(t, g, S, 4, false)
+		cl := dial(t, manPath, urls)
+		_, cr := gather(t, cl, "triangles", 0, nil, Q{})
+		var sum uint64
+		for _, sh := range cr.Shards {
+			sum += sh.Delivered
+		}
+		if sum != res.Triangles || cr.Matches != res.Triangles {
+			t.Fatalf("S=%d: shard deliveries sum to %d, matches %d, single-process %d", S, sum, cr.Matches, res.Triangles)
+		}
+	}
+}
+
+// TestClusterTinyGraph: a graph with fewer edges than shards leaves
+// some sub-images empty; empty shards still participate (epochs, empty
+// sorted streams) and the gathered result stays exact.
+func TestClusterTinyGraph(t *testing.T) {
+	g, err := repro.Build(repro.FromEdges([][2]uint32{{1, 2}, {2, 3}, {1, 3}}), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	want, _ := orderedRef(t, g, "triangles", 0, nil, Q{})
+	manPath, urls := startCluster(t, g, 4, 4, false)
+	cl := dial(t, manPath, urls)
+	got, cr := gather(t, cl, "triangles", 0, nil, Q{})
+	if !bytes.Equal(got, want) {
+		t.Fatal("tiny-graph gathered stream diverges from the ordered stream")
+	}
+	if cr.Matches != 1 {
+		t.Fatalf("the one triangle gathered %d times", cr.Matches)
+	}
+	// A routed update through the empty shards works too.
+	if _, err := cl.Update(context.Background(), repro.Delta{Add: [][2]uint32{{3, 4}, {1, 4}}}); err != nil {
+		t.Fatalf("routed update with empty sub-deltas: %v", err)
+	}
+	if cl.Epoch() != 1 {
+		t.Fatalf("epoch = %d after update", cl.Epoch())
+	}
+}
+
+// TestPartitionManifestRoundtrip: the manifest records what Partition
+// did, and DialCluster rejects a shard serving the wrong range.
+func TestPartitionManifestRoundtrip(t *testing.T) {
+	g, err := repro.Build(repro.FromSpec("gnm:n=100,m=500"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	manPath, urls := startCluster(t, g, 2, 4, false)
+	man, err := cluster.Load(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Colors != 4 || len(man.Shards) != 2 || man.Edges != g.NumEdges() {
+		t.Fatalf("manifest does not describe the partition: %+v", man)
+	}
+	// Swapped URLs ↔ shard identity mismatch must be refused at dial.
+	if _, err := repro.DialCluster(context.Background(), manPath, []string{urls[1], urls[0]}, repro.DialOptions{}); err == nil {
+		t.Fatal("DialCluster accepted shards served in the wrong slots")
+	}
+	if !reflect.DeepEqual([]string{urls[0], urls[1]}, urls) {
+		t.Fatal("unreachable")
+	}
+}

@@ -21,6 +21,23 @@
 //	POST   /v1/graphs/{id}/checkpoint  promote the durable image
 //	GET    /v1/stats                    per-tenant budgets and usage
 //
+// Cluster roles (the scatter–gather layer; see ARCHITECTURE.md):
+//
+//	trienumd -addr :7155 -shard cluster.json -shard-index 0
+//	trienumd -addr :7154 -coordinator cluster.json -shards http://h0:7155,http://h1:7156
+//
+// A shard daemon opens its sub-image from the manifest written by
+// repro.Partition and adds the /v1/cluster/shard/* endpoints; a
+// coordinator daemon dials every shard and adds /v1/cluster/query,
+// /v1/cluster/update and /v1/cluster/info — the gathered stream is
+// byte-identical to a single-process ordered query of the full graph.
+//
+// -auth-token-file names a file holding a bearer token (surrounding
+// whitespace trimmed); when set, every endpoint except GET /healthz
+// requires "Authorization: Bearer <token>" and answers 401 otherwise,
+// before the X-Tenant header is trusted. A coordinator forwards the
+// same token to its shards, so one shared token secures the cluster.
+//
 // Query streams preserve the library's determinism contract over the
 // wire: the NDJSON lines are byte-identical to the in-process callback
 // query at every worker count, a limit-stopped stream returns an opaque
@@ -58,6 +75,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -78,6 +96,11 @@ func main() {
 		workers     = flag.Int("workers", 0, "default Workers for loaded graphs (0 = one per CPU)")
 		shutdownT   = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining active streams on shutdown")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address, e.g. localhost:6060 (off when empty)")
+		authFile    = flag.String("auth-token-file", "", "file holding the bearer token every request must carry (off when empty)")
+		shardMan    = flag.String("shard", "", "cluster manifest path: serve this daemon as one shard of the cluster")
+		shardIndex  = flag.Int("shard-index", 0, "which manifest shard this daemon serves (with -shard)")
+		coordMan    = flag.String("coordinator", "", "cluster manifest path: serve this daemon as the cluster coordinator")
+		shardURLs   = flag.String("shards", "", "comma-separated shard base URLs, in manifest order (with -coordinator)")
 		opens       multiFlag
 		builds      multiFlag
 	)
@@ -85,13 +108,30 @@ func main() {
 	flag.Var(&builds, "build", "id=spec: build a memory graph from a generator spec at boot (repeatable)")
 	flag.Parse()
 
+	var authToken string
+	if *authFile != "" {
+		b, err := os.ReadFile(*authFile)
+		if err != nil {
+			log.Fatalf("-auth-token-file: %v", err)
+		}
+		authToken = strings.TrimSpace(string(b))
+		if authToken == "" {
+			log.Fatalf("-auth-token-file %s: file holds no token", *authFile)
+		}
+	}
+
 	srv := serve.New(serve.Config{
 		MaxTenantSessions:    *maxSessions,
 		MaxTenantMemoryWords: *maxMWords,
 		FlushEvery:           *flushEvery,
+		AuthToken:            authToken,
 	})
 	opts := repro.Options{MemoryWords: *m, BlockWords: *b, Workers: *workers}
 	if err := bootLoad(srv, opens, builds, opts); err != nil {
+		srv.Close()
+		log.Fatal(err)
+	}
+	if err := bootCluster(srv, *shardMan, *shardIndex, *coordMan, *shardURLs, authToken, opts); err != nil {
 		srv.Close()
 		log.Fatal(err)
 	}
@@ -149,6 +189,55 @@ func main() {
 		log.Fatalf("closing graphs: %v", err)
 	}
 	log.Printf("trienumd stopped")
+}
+
+// bootCluster configures the daemon's cluster role, if any: open the
+// owned sub-image for a shard, dial the shard fleet for a coordinator.
+func bootCluster(srv *serve.Server, shardMan string, shardIndex int, coordMan, shardURLs, authToken string, opts repro.Options) error {
+	if shardMan != "" && coordMan != "" {
+		return errors.New("-shard and -coordinator are mutually exclusive")
+	}
+	if shardMan != "" {
+		man, err := cluster.Load(shardMan)
+		if err != nil {
+			return err
+		}
+		if shardIndex < 0 || shardIndex >= len(man.Shards) {
+			return fmt.Errorf("-shard-index %d out of range (manifest has %d shards)", shardIndex, len(man.Shards))
+		}
+		img := man.ImagePath(shardMan, shardIndex)
+		g, or, err := repro.Open(img, repro.Options{
+			MemoryWords: man.MemoryWords,
+			BlockWords:  man.BlockWords,
+			Workers:     opts.Workers,
+		})
+		if err != nil {
+			return fmt.Errorf("-shard: opening sub-image %s: %w", img, err)
+		}
+		if err := srv.ServeShard(man, shardIndex, g); err != nil {
+			return errors.Join(err, g.Close())
+		}
+		sh := man.Shards[shardIndex]
+		log.Printf("serving shard %d: colors [%d,%d) of %d, %d vertices, %d edges from %s",
+			shardIndex, sh.Lo, sh.Hi, man.Colors, or.Vertices, or.Edges, img)
+		return nil
+	}
+	if coordMan != "" {
+		urls := strings.Split(shardURLs, ",")
+		if shardURLs == "" || len(urls) == 0 {
+			return errors.New("-coordinator needs -shards url1,url2,...")
+		}
+		cl, err := repro.DialCluster(context.Background(), coordMan, urls, repro.DialOptions{AuthToken: authToken})
+		if err != nil {
+			return err
+		}
+		if err := srv.ServeCoordinator(cl); err != nil {
+			return errors.Join(err, cl.Close())
+		}
+		log.Printf("coordinating %d shards: %d colors, epoch %d, %d vertices, %d edges",
+			cl.Shards(), cl.Colors(), cl.Epoch(), cl.NumVertices(), cl.NumEdges())
+	}
+	return nil
 }
 
 // bootLoad registers the -open and -build graphs before the listener

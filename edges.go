@@ -1,0 +1,45 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/ctxutil"
+	"repro/internal/graph"
+)
+
+// EdgesFunc streams the graph's canonical edge set: every deduplicated
+// edge exactly once, endpoints as the caller's original ids with u < v,
+// in the canonical image's rank order — a deterministic sequence for a
+// given edge set. It runs on a native session over the generation
+// current at the call (so it may overlap queries and updates freely)
+// and charges no simulated I/O: exporting edges is a serving-layer
+// concern, like encoding a wire stream, not part of the enumeration
+// cost model. ctx is checked periodically and may be nil.
+//
+// This is the export primitive of the cluster layer: Partition reads
+// the edge set through it to build per-shard sub-images, and a shard
+// server snapshots its sub-image through it before executing a query's
+// color tuples.
+func (g *Graph) EdgesFunc(ctx context.Context, emit func(u, v uint32)) error {
+	s, err := g.acquire(true)
+	if err != nil {
+		return err
+	}
+	defer s.close()
+	n := s.cg.Edges.Len()
+	for i := int64(0); i < n; i++ {
+		if i&0xffff == 0 {
+			if err := ctxutil.Err(ctx); err != nil {
+				return err
+			}
+		}
+		w := s.cg.Edges.Read(i)
+		u := s.cg.RankToID[graph.U(w)]
+		v := s.cg.RankToID[graph.V(w)]
+		if u > v {
+			u, v = v, u
+		}
+		emit(u, v)
+	}
+	return nil
+}

@@ -38,9 +38,12 @@ import (
 //     model performs.)
 //
 // Inputs whose geometry leaves nothing to parallelize (a single run, too
-// little internal memory, an unaligned extent, or the multi-pass merge
-// regime n > k·runWords) fall back to the sequential sorts. Every
-// fallback predicate is a pure function of the input and the machine
+// little internal memory, an unaligned extent, or a sample index that
+// would not fit the internal-memory budget) fall back to the sequential
+// sorts. In the multi-pass merge regime (n > k·runWords) the engine runs
+// the sequential intermediate passes on the coordinator and parallelizes
+// the top-level pass — see ParallelSortRecordsCtx. Every fallback
+// predicate is a pure function of the input and the machine
 // configuration — never of the worker count — so the fallbacks cannot
 // break cross-worker-count invariance.
 
@@ -218,49 +221,67 @@ func ParallelSortRecordsCtx(ctx context.Context, ext extmem.Extent, stride int, 
 		return nil, nil
 	}
 	numRuns := int((n + plan.runWords - 1) / plan.runWords)
-	if numRuns > plan.fanIn {
-		// Multi-pass merge regime: the single-level key-range partition
-		// below would thrash the shard caches; stay sequential.
-		SortRecords(ext, stride, key)
-		return nil, nil
+	// Multi-pass merge regime: when the formation runs exceed the merge
+	// fan-in, the sequential engine merges in several passes. The parallel
+	// engine mirrors its geometry exactly: every pass but the last runs
+	// sequentially on the coordinator (whole-extent rewrites with nothing
+	// for the key-range splitter to partition), collapsing the formation
+	// runs to at most fanIn top-level runs, and the final pass — over the
+	// same top-level runs the sequential engine would merge last — is
+	// fanned out below. With numRuns <= fanIn this degenerates to zero
+	// intermediate passes and the single-pass geometry.
+	topRunWords := plan.runWords
+	passes := 0
+	for (n+topRunWords-1)/topRunWords > int64(plan.fanIn) {
+		topRunWords *= int64(plan.fanIn)
+		passes++
 	}
-	// Sample geometry: one sampled record per block of run data. The
-	// sample index localizes every boundary search to one block; both the
-	// coordinator and each consulting shard lease its footprint.
+	numTop := int((n + topRunWords - 1) / topRunWords)
+	// Sample geometry: one sampled record per block of top-level run
+	// data. The sample index localizes every boundary search to one
+	// block; both the coordinator and each consulting shard lease its
+	// footprint.
 	qRec := int64(cfg.B / stride)
 	if qRec < 1 {
 		qRec = 1
 	}
 	st := int64(stride)
 	nRec := n / st
-	runRecs := make([]int64, numRuns)
+	runRecs := make([]int64, numTop)
 	totalSamples := 0
 	for r := range runRecs {
-		lo := int64(r) * (plan.runWords / st)
-		hi := lo + plan.runWords/st
+		lo := int64(r) * (topRunWords / st)
+		hi := lo + topRunWords/st
 		if hi > nRec {
 			hi = nRec
 		}
 		runRecs[r] = hi - lo
 		totalSamples += int((runRecs[r] + qRec - 1) / qRec)
 	}
-	if totalSamples > avail-2*cfg.B || totalSamples+4*numRuns > cfg.M-2*cfg.B {
+	if totalSamples > avail-2*cfg.B || totalSamples+4*numTop > cfg.M-2*cfg.B {
 		SortRecords(ext, stride, key)
 		return nil, nil
 	}
 
 	// Phase 1 — run formation. Freeze the input; each task loads its run
 	// from the shared region, sorts it natively, and streams it back; the
-	// coordinator lays the runs down in a fresh scratch extent and
-	// extracts the per-run sample index on the way through.
+	// coordinator lays the runs down in a fresh scratch extent and — in
+	// the single-pass regime, where formation runs are the top-level
+	// runs — extracts the per-run sample index on the way through.
 	shared := sp.Snapshot(ext)
 	mark := sp.Mark()
 	defer sp.Release(mark)
 	runsBuf := sp.Alloc(n)
 
-	releaseSamples := sp.Lease(totalSamples)
-	defer releaseSamples()
-	samples := make([][]extmem.Word, numRuns)
+	// The sample index is leased only while it exists: from phase 1's
+	// inline extraction in the single-pass regime, but not before the
+	// intermediate passes in the multi-pass one — mergePass needs the
+	// merge heap's headroom, and the samples are extracted after it.
+	if passes == 0 {
+		releaseSamples := sp.Lease(totalSamples)
+		defer releaseSamples()
+	}
+	samples := make([][]extmem.Word, numTop)
 	runTasks := make([]wordTask, numRuns)
 	for r := 0; r < numRuns; r++ {
 		lo := int64(r) * plan.runWords
@@ -289,9 +310,11 @@ func ParallelSortRecordsCtx(ctx context.Context, ext extmem.Extent, stride int, 
 	ws, err := runWordTasks(ctx, cfg, shared, runTasks, workers, func(task int, batch []extmem.Word) {
 		runLo := int64(task) * plan.runWords
 		for _, w := range batch {
-			off := cur - runLo
-			if off%st == 0 && (off/st)%qRec == 0 {
-				samples[task] = append(samples[task], w)
+			if passes == 0 {
+				off := cur - runLo
+				if off%st == 0 && (off/st)%qRec == 0 {
+					samples[task] = append(samples[task], w)
+				}
 			}
 			runsBuf.Write(cur, w)
 			cur++
@@ -299,6 +322,36 @@ func ParallelSortRecordsCtx(ctx context.Context, ext extmem.Extent, stride int, 
 	})
 	if err != nil {
 		return ws, err
+	}
+
+	if passes > 0 {
+		// Intermediate merge passes — the sequential engine's exact
+		// ping-pong geometry, run on the coordinator. After them the
+		// scratch holds numTop sorted runs of topRunWords each, the same
+		// top-level runs SortRecords would merge in its final pass.
+		scratch2 := sp.Alloc(n)
+		src, dst := runsBuf, scratch2
+		runLen := plan.runWords
+		for p := 0; p < passes; p++ {
+			if err := ctxutil.Err(ctx); err != nil {
+				return ws, err
+			}
+			mergePass(src, dst, runLen, plan.fanIn, stride, key)
+			runLen *= int64(plan.fanIn)
+			src, dst = dst, src
+		}
+		runsBuf = src
+		// The formation runs the inline extraction would have indexed no
+		// longer exist; sample the top-level runs in the same grid —
+		// records 0, qRec, 2·qRec, … of each run.
+		releaseSamples := sp.Lease(totalSamples)
+		defer releaseSamples()
+		for r := 0; r < numTop; r++ {
+			runLo := int64(r) * topRunWords
+			for rec := int64(0); rec < runRecs[r]; rec += qRec {
+				samples[r] = append(samples[r], runsBuf.Read(runLo+rec*st))
+			}
+		}
 	}
 
 	// Phase 2 — key-range merge. Splitters are drawn from the global
@@ -317,8 +370,8 @@ func ParallelSortRecordsCtx(ctx context.Context, ext extmem.Extent, stride int, 
 	}
 	sort.Slice(all, func(i, j int) bool { return wordLess(all[i], all[j]) })
 	var splitters []extmem.Word
-	for j := 1; j < numRuns; j++ {
-		cand := all[j*len(all)/numRuns]
+	for j := 1; j < numTop; j++ {
+		cand := all[j*len(all)/numTop]
 		if len(splitters) == 0 || wordLess(splitters[len(splitters)-1], cand) {
 			splitters = append(splitters, cand)
 		}
@@ -335,12 +388,12 @@ func ParallelSortRecordsCtx(ctx context.Context, ext extmem.Extent, stride int, 
 			sHi = &splitters[j]
 		}
 		chunkTasks[j] = func(shard *extmem.Space, send func([]extmem.Word) bool) {
-			release := shard.Lease(totalSamples + 4*numRuns)
+			release := shard.Lease(totalSamples + 4*numTop)
 			defer release()
 			view := shard.ExtentAt(0, n)
-			segs := make([][2]int64, numRuns) // [pos, end) in words
-			for r := 0; r < numRuns; r++ {
-				runLo := int64(r) * plan.runWords
+			segs := make([][2]int64, numTop) // [pos, end) in words
+			for r := 0; r < numTop; r++ {
+				runLo := int64(r) * topRunWords
 				lo, hi := int64(0), runRecs[r]
 				if sLo != nil {
 					lo = lowerBoundInRun(view, runLo, runRecs[r], st, qRec, samples[r], wordLess, *sLo)

@@ -158,8 +158,9 @@ func TestParallelSortRecordsStride(t *testing.T) {
 }
 
 // TestParallelSortFallbacks drives the sequential-fallback predicates —
-// single-run inputs, unaligned extents, and the multi-pass merge regime —
-// which must stay correct (and identical) at every worker count.
+// single-run inputs, unaligned extents, and geometries whose sample index
+// would overrun the internal-memory budget — which must stay correct (and
+// identical) at every worker count.
 func TestParallelSortFallbacks(t *testing.T) {
 	cases := []struct {
 		name string
@@ -225,6 +226,97 @@ func TestSortersWordTieOrder(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelSortMultipass pins the multi-pass merge regime: a geometry
+// whose formation runs exceed the merge fan-in, so ParallelSortRecords
+// must run the sequential intermediate passes on the coordinator and fan
+// out only the top-level pass. The output bytes must equal SortRecords'
+// exactly and the aggregated stats must be invariant across worker
+// counts. With M=512, B=64: fan-in 6, run words 384, so n=8192 forms 22
+// runs — one intermediate pass collapsing them to 4 top-level runs.
+func TestParallelSortMultipass(t *testing.T) {
+	cfg := extmem.Config{M: 512, B: 64, AllowShortCache: true}
+	n := int64(8192)
+	plan := planSort(cfg, cfg.M, 1)
+	if numRuns := int((n + plan.runWords - 1) / plan.runWords); numRuns <= plan.fanIn {
+		t.Fatalf("geometry does not force multi-pass: %d runs <= fan-in %d", numRuns, plan.fanIn)
+	}
+	{
+		// The parallel engine must actually take the fanned-out path:
+		// every sequential fallback returns no worker stats.
+		sp := extmem.NewSpace(cfg)
+		ext := sp.Alloc(n)
+		key := sortInput(ext, "random", n+7)
+		if ws := ParallelSortRecords(ext, 1, key, 2); len(ws) == 0 {
+			t.Fatal("multi-pass input fell back to the sequential engine")
+		}
+	}
+	s := parallelSorters[0] // multiway
+	for _, shape := range sortShapes {
+		t.Run(shape, func(t *testing.T) {
+			ref := extmem.NewSpace(cfg)
+			refExt := ref.Alloc(n)
+			key := sortInput(refExt, shape, n+7)
+			SortRecords(refExt, 1, key)
+			want := make([]extmem.Word, n)
+			refExt.Load(want)
+
+			var base extmem.Stats
+			for i, workers := range []int{1, 2, 8} {
+				got, stats := parallelSortRun(cfg, n, shape, s, workers)
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("workers=%d: word %d = %#x, sequential has %#x", workers, j, got[j], want[j])
+					}
+				}
+				if i == 0 {
+					base = stats
+					if base.IOs() == 0 {
+						t.Fatal("no I/Os measured on a multi-pass sort")
+					}
+				} else if stats != base {
+					t.Errorf("workers=%d: aggregated stats %+v differ from workers=1 %+v", workers, stats, base)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSortMultipassStride: multi-pass byte-identity with stride-2
+// records and heavy key ties — the stable (key, word, run) merge order
+// must survive the intermediate passes' run renumbering.
+func TestParallelSortMultipassStride(t *testing.T) {
+	cfg := extmem.Config{M: 512, B: 64, AllowShortCache: true}
+	nRec := int64(4096)
+	build := func(sp *extmem.Space) extmem.Extent {
+		ext := sp.Alloc(2 * nRec)
+		rng := rand.New(rand.NewSource(97))
+		for i := int64(0); i < nRec; i++ {
+			ext.Write(2*i, uint64(rng.Intn(24))) // ~170 records per key word
+			ext.Write(2*i+1, uint64(i))          // distinct payload
+		}
+		return ext
+	}
+	ref := extmem.NewSpace(cfg)
+	refExt := build(ref)
+	SortRecords(refExt, 2, Identity)
+	want := make([]extmem.Word, 2*nRec)
+	refExt.Load(want)
+	for _, workers := range []int{1, 2, 8} {
+		sp := extmem.NewSpace(cfg)
+		ext := build(sp)
+		if ws := ParallelSortRecords(ext, 2, Identity, workers); len(ws) == 0 {
+			t.Fatal("multi-pass stride-2 input fell back to the sequential engine")
+		}
+		got := make([]extmem.Word, 2*nRec)
+		ext.Load(got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: word %d = %d, sequential has %d", workers, i, got[i], want[i])
+			}
+		}
 	}
 }
 

@@ -36,6 +36,7 @@ type cursor struct {
 	Algorithm string `json:"a,omitempty"` // algorithm name (kind "triangles")
 	Seed      uint64 `json:"s,omitempty"` // decomposition seed
 	Native    bool   `json:"x,omitempty"` // native execution mode
+	Ordered   bool   `json:"d,omitempty"` // canonical global order
 	Pos       uint64 `json:"o"`           // emissions already delivered
 }
 

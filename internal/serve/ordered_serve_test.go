@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+
+	"repro"
+)
+
+// TestOrderedOverWire: a query with ordered:true streams the canonical
+// global order — byte-identical to the in-process Query.Ordered run —
+// and its trailer statistics equal the engine-order run's.
+func TestOrderedOverWire(t *testing.T) {
+	_, ts, g := newTestServer(t, Config{}, "g", "gnm:n=200,m=1000", repro.Options{})
+
+	var want []byte
+	var res repro.Result
+	if _, err := g.TrianglesFunc(context.Background(), repro.Query{Seed: 5, Ordered: true, Result: &res}, func(a, b, c uint32) {
+		want = AppendEmission(want, []uint32{a, b, c})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		data, trailer, _ := postQuery(t, ts.URL, "g", "", QueryRequest{Seed: 5, Ordered: true, Workers: workers})
+		if !bytes.Equal(data, want) {
+			t.Fatalf("workers=%d: ordered wire stream diverges from the in-process ordered run", workers)
+		}
+		if !trailer.Done || trailer.Result != ToWireResult(res) {
+			t.Fatalf("workers=%d: ordered trailer %+v does not match the in-process result", workers, trailer)
+		}
+	}
+}
+
+// TestOrderedCursor: a cursor minted on an ordered stream resumes the
+// ordered order exactly, and the mode is pinned — resuming an
+// engine-order cursor with ordered:true (or vice versa) is rejected.
+func TestOrderedCursor(t *testing.T) {
+	_, ts, g := newTestServer(t, Config{}, "g", "gnm:n=200,m=1000", repro.Options{})
+
+	var want []byte
+	if _, err := g.TrianglesFunc(context.Background(), repro.Query{Ordered: true}, func(a, b, c uint32) {
+		want = AppendEmission(want, []uint32{a, b, c})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(bytes.Count(want, []byte("\n")))
+	if total < 6 {
+		t.Fatalf("test graph too sparse: %d triangles", total)
+	}
+
+	first, tr1, _ := postQuery(t, ts.URL, "g", "", QueryRequest{Ordered: true, Limit: 3})
+	if tr1.Cursor == "" {
+		t.Fatal("limited ordered stream returned no cursor")
+	}
+	rest, tr2, _ := postQuery(t, ts.URL, "g", "", QueryRequest{Cursor: tr1.Cursor})
+	if !bytes.Equal(append(first, rest...), want) {
+		t.Fatal("ordered stream + cursor resume is not the uncursored ordered stream")
+	}
+	if tr2.Cursor != "" || tr2.Delivered != total-3 {
+		t.Fatalf("resume trailer %+v, want %d delivered and no cursor", tr2, total-3)
+	}
+
+	// Mode pinning: an ordered cursor cannot resume an engine-order
+	// stream, and an engine-order cursor cannot resume ordered.
+	_, _, status, err := tryQuery(ts.URL, "g", "", QueryRequest{Cursor: tr1.Cursor, Ordered: true})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("explicit ordered resume of an ordered cursor: %d, %v", status, err)
+	}
+	_, plainTr, _ := postQuery(t, ts.URL, "g", "", QueryRequest{Limit: 3})
+	if plainTr.Cursor == "" {
+		t.Fatal("limited engine-order stream returned no cursor")
+	}
+	_, _, status, err = tryQuery(ts.URL, "g", "", QueryRequest{Cursor: plainTr.Cursor, Ordered: true})
+	if err != nil || status != http.StatusBadRequest {
+		t.Fatalf("ordered resume of an engine-order cursor = %d, want 400 (%v)", status, err)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +31,13 @@ type Config struct {
 	// emission lines (default 64; 1 flushes every line). The trailer
 	// always flushes.
 	FlushEvery int
+	// AuthToken, when non-empty, requires every request (except
+	// GET /healthz) to carry "Authorization: Bearer <AuthToken>".
+	// Authentication runs before anything else — in particular before
+	// the X-Tenant header is trusted for admission accounting — and a
+	// missing or wrong token is answered 401. Comparison is constant
+	// time.
+	AuthToken string
 }
 
 // Server is the daemon state: a registry of loaded Graph handles plus
@@ -43,6 +51,12 @@ type Server struct {
 	mu     sync.Mutex
 	graphs map[string]*graphEntry
 	closed bool
+
+	// Cluster roles, configured before Handler via ServeShard /
+	// ServeCoordinator (see cluster_serve.go). Nil when this daemon is
+	// not part of a cluster.
+	shard *shardState
+	coord *repro.Cluster
 }
 
 // graphEntry is one registry slot.
@@ -111,6 +125,12 @@ func (s *Server) Close() error {
 	for _, e := range entries {
 		err = errors.Join(err, e.g.Close())
 	}
+	if s.shard != nil {
+		err = errors.Join(err, s.shard.g.Close())
+	}
+	if s.coord != nil {
+		err = errors.Join(err, s.coord.Close())
+	}
 	return err
 }
 
@@ -131,7 +151,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/graphs/{id}/update", s.handleUpdate)
 	mux.HandleFunc("POST /v1/graphs/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	s.registerCluster(mux)
+	return s.withAuth(mux)
+}
+
+// withAuth gates every route except the liveness probe behind the
+// configured bearer token. With no token configured it is a no-op.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	if s.cfg.AuthToken == "" {
+		return next
+	}
+	want := []byte(s.cfg.AuthToken)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		// The token is checked before the X-Tenant header (or anything
+		// else in the request) is acted on: an unauthenticated caller
+		// cannot consume admission budget or learn registry state.
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), want) == 0 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="trienumd"`)
+			writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) lookup(id string) *graphEntry {
@@ -365,6 +411,7 @@ type resolvedQuery struct {
 	seed    uint64
 	workers int
 	native  bool
+	ordered bool
 	limit   uint64
 	pos     uint64
 }
@@ -381,6 +428,7 @@ func resolveQuery(req QueryRequest, cur *cursor) (resolvedQuery, error) {
 		seed:    req.Seed,
 		workers: req.Workers,
 		native:  req.Native,
+		ordered: req.Ordered,
 		limit:   req.Limit,
 	}
 	if cur != nil {
@@ -419,6 +467,13 @@ func resolveQuery(req QueryRequest, cur *cursor) (resolvedQuery, error) {
 			rq.native = cur.Native
 		} else if !cur.Native {
 			return rq, errors.New("query requests native execution but the cursor was minted on a simulated run")
+		}
+		// Ordered changes the emission order itself, so a cursor position
+		// is only meaningful in the mode it was minted under.
+		if !rq.ordered {
+			rq.ordered = cur.Ordered
+		} else if !cur.Ordered {
+			return rq, errors.New("query requests the canonical order but the cursor was minted on an engine-order run")
 		}
 	}
 	if rq.kind == "" {
@@ -476,6 +531,7 @@ func (rq resolvedQuery) mintCursor(graphID string, gen, delivered uint64) string
 		Algorithm: rq.algName,
 		Seed:      rq.seed,
 		Native:    rq.native,
+		Ordered:   rq.ordered,
 		Pos:       rq.pos + delivered,
 	})
 }
@@ -592,7 +648,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	q := repro.Query{Algorithm: rq.alg, Seed: rq.seed, Workers: rq.workers}
+	q := repro.Query{Algorithm: rq.alg, Seed: rq.seed, Workers: rq.workers, Ordered: rq.ordered}
 	if rq.native {
 		q.Mode = repro.ModeNative
 	}
@@ -657,6 +713,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	_ = werr
 	flush()
 	s.adm.recordQuery(tenant, delivered, res.Stats.BlockReads, res.Stats.BlockWrites, bytesOut)
+}
+
+// newStreamWriter pairs a buffered response writer with a flush that
+// also pushes the HTTP chunk to the client when the ResponseWriter
+// supports it.
+func newStreamWriter(w http.ResponseWriter) (*bufio.Writer, func()) {
+	bw := bufio.NewWriter(w)
+	flusher, _ := w.(http.Flusher)
+	return bw, func() {
+		bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 // AppendEmission appends the NDJSON emission line for one result —

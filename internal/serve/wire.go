@@ -134,6 +134,14 @@ type QueryRequest struct {
 	// kind. A cursor remembers the mode it was minted under; resuming
 	// with a conflicting mode is a 400.
 	Native bool `json:"native,omitempty"`
+	// Ordered delivers the stream in the canonical global order
+	// (repro.Query.Ordered): ascending lexicographic tuples, match
+	// embeddings normalized. The canonical order is a pure function of
+	// the edge set and the query — the order a cluster coordinator's
+	// gathered stream arrives in — at the cost of buffering the full
+	// result before the first emission line. Like Native, a cursor pins
+	// the mode it was minted under.
+	Ordered bool `json:"ordered,omitempty"`
 	// Limit, when positive, ends the stream cleanly after Limit
 	// emissions and returns a resumable cursor in the trailer.
 	Limit uint64 `json:"limit,omitempty"`

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/ctxutil"
 	"repro/internal/extmem"
 	"repro/internal/graph"
@@ -38,6 +39,23 @@ type Query struct {
 	// FamilySize overrides the small-bias family size used by the
 	// Deterministic algorithm (0 = default).
 	FamilySize int
+	// Ordered delivers the emissions in the canonical global order:
+	// ascending lexicographic vertex tuples, with Match embeddings
+	// first normalized to their orbit representative
+	// (Pattern.Normalize). The plain stream follows the decomposition
+	// order — deterministic, but a function of the image the query ran
+	// on — whereas the ordered stream is a pure function of the edge
+	// set and the query alone, which is what makes independently
+	// executed partitions of a query mergeable: the cluster layer's
+	// gathered stream is byte-identical to a single-process Ordered
+	// query. Ordering happens at the delivery layer: the producer runs
+	// to completion (buffering one id per emitted vertex, charged no
+	// simulated I/O), the buffered tuples are sorted, and emit receives
+	// them from the calling goroutine. Consequently a Limit applies to
+	// the sorted stream (the producer still enumerates fully, so Stats
+	// match the unlimited run), and a cancelled or failed run delivers
+	// no emissions at all — a partial set has no canonical prefix.
+	Ordered bool
 	// Limit, when positive, stops the query cleanly after Limit
 	// emissions: the producer is cancelled cooperatively (as if the
 	// context had been cancelled), no further emissions are delivered,
@@ -203,10 +221,22 @@ func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c ui
 
 	lim, qctx, stop := newLimiter(ctx, q)
 	defer stop()
+	ord := newOrderedTuples(q, 3)
+	if ord != nil {
+		// The canonical order is unknown until the enumeration is
+		// complete, so an ordered producer always runs to completion:
+		// the limit applies at delivery, below, not to the producer.
+		qctx = ctx
+	}
 	res := s.baseResult()
 	workers := g.resolveWorkers(q)
 	exec := trienum.Exec{Workers: workers, Ctx: qctx}
 	wrapped := func(a, b, c uint32) {
+		if ord != nil {
+			t := graph.MakeTriple(s.cg.RankToID[a], s.cg.RankToID[b], s.cg.RankToID[c])
+			ord.add(t.V1, t.V2, t.V3)
+			return
+		}
 		if !lim.admit() {
 			return
 		}
@@ -263,6 +293,13 @@ func (g *Graph) TrianglesFunc(ctx context.Context, q Query, emit func(a, b, c ui
 	res.HighDegVertices = info.HighDegVertices
 	res.Subproblems = info.Subproblems
 	res.X = info.X
+	if ord != nil && err == nil {
+		ord.deliver(lim, func(vs []uint32) {
+			if emit != nil {
+				emit(vs[0], vs[1], vs[2])
+			}
+		})
+	}
 	err = lim.finish(ctx, &res, err)
 	if lim != nil {
 		res.Triangles = res.Matches
@@ -324,7 +361,7 @@ func (g *Graph) Triangles(ctx context.Context, q Query) iter.Seq2[Triangle, erro
 func (g *Graph) CliquesFunc(ctx context.Context, k int, q Query, emit func(clique []uint32)) (Result, error) {
 	return g.subgraphQuery(ctx, q, emit, func(qctx context.Context, s *session, wrapped subgraph.EmitK) (subgraph.Info, error) {
 		return subgraph.KClique(qctx, s.sp, s.cg, k, q.Seed, wrapped)
-	}, true)
+	}, true, k, nil)
 }
 
 // Cliques is CliquesFunc as a range-over-func iterator; the iteration
@@ -352,7 +389,7 @@ func (g *Graph) MatchFunc(ctx context.Context, p *Pattern, q Query, emit func(as
 	}
 	return g.subgraphQuery(ctx, q, emit, func(qctx context.Context, s *session, wrapped subgraph.EmitK) (subgraph.Info, error) {
 		return p.p.Enumerate(qctx, s.sp, s.cg, q.Seed, wrapped)
-	}, false)
+	}, false, p.K(), p.Normalize)
 }
 
 // Match is MatchFunc as a range-over-func iterator; the iteration
@@ -370,8 +407,11 @@ func (g *Graph) Match(ctx context.Context, p *Pattern, q Query) iter.Seq2[[]uint
 // ids, collect the worker-invariant statistics, close the session.
 // sortIDs orders each emitted vertex set ascending (cliques are unordered
 // sets; pattern embeddings are positional and must not be reordered).
+// k is the emitted tuple size and normalize the Query.Ordered orbit
+// normalization (nil when the plain emission is already canonical).
 func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
-	run func(qctx context.Context, s *session, wrapped subgraph.EmitK) (subgraph.Info, error), sortIDs bool) (Result, error) {
+	run func(qctx context.Context, s *session, wrapped subgraph.EmitK) (subgraph.Info, error), sortIDs bool,
+	k int, normalize func([]uint32)) (Result, error) {
 	s, err := g.acquire(g.resolveNative(q))
 	if err != nil {
 		return Result{}, err
@@ -380,14 +420,22 @@ func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
 
 	lim, qctx, stop := newLimiter(ctx, q)
 	defer stop()
+	ord := newOrderedTuples(q, k)
+	if ord != nil {
+		// As in TrianglesFunc: an ordered producer runs to completion,
+		// the limit applies at delivery.
+		qctx = ctx
+	}
 	res := s.baseResult()
 	var mapped []uint32
 	wrapped := func(vs []uint32) {
-		if !lim.admit() {
-			return
-		}
-		if emit == nil {
-			return
+		if ord == nil {
+			if !lim.admit() {
+				return
+			}
+			if emit == nil {
+				return
+			}
 		}
 		if cap(mapped) < len(vs) {
 			mapped = make([]uint32, len(vs))
@@ -398,6 +446,13 @@ func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
 		}
 		if sortIDs {
 			sort.Slice(mapped, func(i, j int) bool { return mapped[i] < mapped[j] })
+		}
+		if ord != nil {
+			if normalize != nil {
+				normalize(mapped)
+			}
+			ord.add(mapped...)
+			return
 		}
 		emit(mapped)
 	}
@@ -412,9 +467,46 @@ func (g *Graph) subgraphQuery(ctx context.Context, q Query, emit func([]uint32),
 		s.sp.Flush()
 	}
 	res.Stats = toIOStats(s.sp.Stats())
+	if ord != nil && err == nil {
+		ord.deliver(lim, func(vs []uint32) {
+			if emit != nil {
+				emit(vs)
+			}
+		})
+	}
 	err = lim.finish(ctx, &res, err)
 	deliverResult(q, res)
 	return res, err
+}
+
+// orderedTuples buffers a Query.Ordered run's emissions — flattened ids,
+// k per emission — for sorted delivery. Created nil for plain queries,
+// so the hot path stays a nil check.
+type orderedTuples struct {
+	k    int
+	flat []uint32
+}
+
+func newOrderedTuples(q Query, k int) *orderedTuples {
+	if !q.Ordered {
+		return nil
+	}
+	return &orderedTuples{k: k}
+}
+
+func (o *orderedTuples) add(vs ...uint32) { o.flat = append(o.flat, vs...) }
+
+// deliver sorts the buffered tuples into the canonical lexicographic
+// order and hands them to emit through the limiter, from the calling
+// goroutine.
+func (o *orderedTuples) deliver(lim *limiter, emit func([]uint32)) {
+	cluster.SortTuples(o.flat, o.k)
+	for i := 0; i+o.k <= len(o.flat); i += o.k {
+		if !lim.admit() {
+			return
+		}
+		emit(o.flat[i : i+o.k])
+	}
 }
 
 // subgraphSeq adapts a callback-form subgraph query to an iterator,

@@ -170,7 +170,12 @@
 // cmd/trienum is the command-line front end, and cmd/trienumd serves
 // graph handles over HTTP/JSON to multiple tenants — streaming each
 // query's deterministic emission order as NDJSON with resumable cursors
-// (see docs/API.md). ARCHITECTURE.md maps the layers from the simulated
+// (see docs/API.md). Past one machine, Partition splits a built graph
+// into per-shard sub-images by color range, trienumd runs them as
+// shard or coordinator roles, and DialCluster scatter–gathers queries
+// whose merged stream is byte-identical to the single-process ordered
+// run (see FORMAT.md for the manifest). ARCHITECTURE.md maps the
+// layers from the simulated
 // disk up to the daemon and states the determinism contract each one
 // exports; see examples/ for complete programs and EXPERIMENTS.md for
 // the reproduction of every complexity claim in the paper.
